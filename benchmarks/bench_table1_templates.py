@@ -1,0 +1,10 @@
+"""Benchmark / regeneration of Table 1 (slice templates)."""
+
+from repro.experiments.table1_templates import format_table1, table1_rows
+
+
+def test_table1_templates(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 3
+    benchmark.extra_info["table1"] = rows
+    print("\n" + format_table1(rows))

@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one table or figure of the paper on the reduced
+operator topologies (see DESIGN.md, "Scale note") and records the resulting
+data series in ``benchmark.extra_info`` so the numbers can be inspected in
+the pytest-benchmark JSON output as well as on stdout.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-figures",
+        action="store_true",
+        default=False,
+        help="Run the figure benchmarks on larger grids (slower, closer to the paper's sweep)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_figures(request):
+    return request.config.getoption("--full-figures")

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Online forecasting driving orchestration decisions.
+
+The script builds a seasonal (diurnal) demand trace for one slice, shows how
+the multiplicative Holt-Winters forecaster tracks it compared to simpler
+predictors, and then demonstrates the full control loop: an orchestrator that
+initially reserves the full SLA for a new slice and relaxes the reservation
+once monitoring data arrives, freeing room for further slices.
+
+Run with:  python examples/forecasting_and_orchestration.py
+"""
+
+import numpy as np
+
+from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig
+from repro.core.milp_solver import DirectMILPSolver
+from repro.core.slices import URLLC_TEMPLATE, SliceRequest
+from repro.forecasting import (
+    DoubleExponentialForecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+)
+from repro.topology.operators import testbed_topology
+from repro.traffic.patterns import DemandSpec, demand_for_template
+
+EPOCHS_PER_DAY = 24
+
+
+def forecasting_demo() -> None:
+    print("Forecasting a diurnal slice load (one-step-ahead, last day)")
+    print("-" * 64)
+    demand = demand_for_template(
+        URLLC_TEMPLATE,
+        DemandSpec(mean_fraction=0.5, relative_std=0.15, seasonal=True),
+        seed=42,
+    )
+    peaks = demand.peak_series(4 * EPOCHS_PER_DAY, samples_per_epoch=12)
+
+    forecasters = {
+        "holt-winters": HoltWintersForecaster(season_length=EPOCHS_PER_DAY),
+        "double-exp": DoubleExponentialForecaster(),
+        "naive": NaiveForecaster(),
+    }
+    errors = {name: [] for name in forecasters}
+    for t in range(3 * EPOCHS_PER_DAY, 4 * EPOCHS_PER_DAY):
+        history, truth = peaks[:t], peaks[t]
+        for name, forecaster in forecasters.items():
+            prediction = forecaster.forecast(history).next_value
+            errors[name].append(abs(prediction - truth) / truth)
+    for name, errs in errors.items():
+        print(f"  {name:<14} mean absolute percentage error: {100 * np.mean(errs):5.1f}%")
+    print()
+
+
+def orchestration_demo() -> None:
+    print("Adaptive reservations make room for more slices")
+    print("-" * 64)
+    orchestrator = E2EOrchestrator(
+        topology=testbed_topology(),
+        solver=DirectMILPSolver(),
+        config=OrchestratorConfig(epochs_per_day=EPOCHS_PER_DAY, samples_per_epoch=12),
+    )
+    orchestrator.submit_request(SliceRequest(name="uRLLC-A", template=URLLC_TEMPLATE, arrival_epoch=0))
+    orchestrator.submit_request(SliceRequest(name="uRLLC-B", template=URLLC_TEMPLATE, arrival_epoch=2))
+
+    demand = demand_for_template(
+        URLLC_TEMPLATE, DemandSpec(mean_fraction=0.4, relative_std=0.1), seed=7
+    )
+    for epoch in range(4):
+        decision = orchestrator.run_epoch(epoch)
+        admitted = ", ".join(sorted(decision.accepted_tenants)) or "(none)"
+        reservations = {
+            name: round(alloc.reservations_mbps.get("bs-0", 0.0), 1)
+            for name, alloc in decision.allocations.items()
+            if alloc.accepted
+        }
+        print(f"  epoch {epoch}: admitted [{admitted}] reservations at bs-0: {reservations}")
+        # Feed monitoring data for whatever is admitted so the next epoch can adapt.
+        for name in decision.accepted_tenants:
+            samples = demand.sample_epoch(epoch, 12).samples_mbps
+            for bs in ("bs-0", "bs-1"):
+                orchestrator.observe_load(name, bs, epoch, list(samples))
+    print()
+    print(
+        "  uRLLC-B only fits once uRLLC-A's measured load (≈10 Mb/s) lets the\n"
+        "  orchestrator shrink its CPU reservation on the 16-core edge cloud."
+    )
+
+
+if __name__ == "__main__":
+    forecasting_demo()
+    orchestration_demo()

@@ -1,0 +1,89 @@
+"""Monitoring & feedback block of the E2E orchestrator (Section 2.2.2).
+
+Between two decision epochs the controllers collect kappa monitoring samples
+of each slice's network load.  The orchestrator only consumes the per-epoch
+*peak* of those samples (``lambda^(t) = max_theta lambda^(theta)``), because
+reserving for the peak minimises the under-allocation footprint.  This module
+stores the raw samples (per slice and base station) in the time-series store
+and exposes the per-slice peak history that feeds the Forecasting block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.controlplane.tsdb import TimeSeriesStore
+
+_LOAD_SERIES = "slice_load_mbps"
+
+
+class MonitoringService:
+    """Collects per-slice load samples and derives per-epoch peak histories."""
+
+    def __init__(self, store: TimeSeriesStore | None = None):
+        self.store = store or TimeSeriesStore()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion (called by the controllers / simulation engine)
+    # ------------------------------------------------------------------ #
+    def record_samples(
+        self,
+        slice_name: str,
+        base_station: str,
+        epoch: int,
+        samples_mbps: list[float] | np.ndarray,
+    ) -> None:
+        """Store the monitoring samples of one slice at one BS for one epoch."""
+        self.store.write_many(
+            _LOAD_SERIES,
+            epoch,
+            samples_mbps,
+            tags={"slice": slice_name, "bs": base_station},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries (consumed by the Forecasting block)
+    # ------------------------------------------------------------------ #
+    def observed_base_stations(self, slice_name: str) -> list[str]:
+        """Base stations for which samples of this slice have been recorded."""
+        stations = []
+        for name, tags in self.store.series_names():
+            if name == _LOAD_SERIES and tags.get("slice") == slice_name:
+                stations.append(tags["bs"])
+        return sorted(set(stations))
+
+    def peak_history(self, slice_name: str, base_station: str | None = None) -> np.ndarray:
+        """Per-epoch peak load of a slice, ordered by epoch.
+
+        When ``base_station`` is None the peak is taken across every base
+        station serving the slice, which is the (conservative) per-site load
+        the reservation must cover.
+        """
+        if base_station is not None:
+            per_epoch = self.store.per_epoch_aggregate(
+                _LOAD_SERIES, tags={"slice": slice_name, "bs": base_station}, aggregate="max"
+            )
+            return np.array([per_epoch[e] for e in sorted(per_epoch)])
+
+        merged: dict[int, float] = {}
+        for bs in self.observed_base_stations(slice_name):
+            per_epoch = self.store.per_epoch_aggregate(
+                _LOAD_SERIES, tags={"slice": slice_name, "bs": bs}, aggregate="max"
+            )
+            for epoch, value in per_epoch.items():
+                merged[epoch] = max(merged.get(epoch, 0.0), value)
+        return np.array([merged[e] for e in sorted(merged)])
+
+    def num_observed_epochs(self, slice_name: str) -> int:
+        return int(self.peak_history(slice_name).size)
+
+    def mean_load(self, slice_name: str) -> float:
+        """Mean of all recorded samples of a slice (across BSs and epochs)."""
+        values = []
+        for bs in self.observed_base_stations(slice_name):
+            values.append(
+                self.store.values(_LOAD_SERIES, tags={"slice": slice_name, "bs": bs})
+            )
+        if not values:
+            return 0.0
+        return float(np.mean(np.concatenate(values)))

@@ -1,0 +1,234 @@
+"""The end-to-end orchestrator (the paper's OVNES).
+
+This is the central, stateful control-plane component.  Every decision epoch
+it:
+
+1. collects the slice requests released by the slice manager and the slices
+   admitted in earlier epochs that are still active (constraint (13));
+2. turns the monitoring history of each slice into a peak-load forecast and
+   an uncertainty estimate (the Forecasting block);
+3. builds the AC-RR problem of Section 3 and solves it with the configured
+   algorithm (Benders, KAC, direct MILP, or the no-overbooking baseline);
+4. records admissions/rejections in the slice registry and pushes the new
+   reservations to the RAN, transport and cloud controllers.
+
+The orchestrator is deliberately independent of the simulation engine: any
+driver that feeds it requests and monitoring samples (a testbed adapter, a
+trace replayer, the bundled simulator) gets the same behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.controlplane.controllers import ControllerSet
+from repro.controlplane.monitoring import MonitoringService
+from repro.controlplane.slice_manager import SliceManager
+from repro.controlplane.state import SliceRegistry, SliceState
+from repro.core.forecast_inputs import ForecastInput
+from repro.core.problem import ACRRProblem, ProblemOptions
+from repro.core.slices import SliceRequest
+from repro.core.solution import OrchestrationDecision
+from repro.forecasting import (
+    DoubleExponentialForecaster,
+    Forecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+)
+from repro.topology.network import NetworkTopology
+from repro.topology.paths import PathSet, compute_path_sets
+
+
+@dataclass(frozen=True)
+class OrchestratorConfig:
+    """Static configuration of the orchestrator."""
+
+    epochs_per_day: int = 24
+    samples_per_epoch: int = 12
+    candidate_paths_per_pair: int = 3
+    allow_deficit_for_committed: bool = True
+    deficit_cost: float = 1.0e4
+
+
+@dataclass
+class ForecastingBlock:
+    """Chooses the best forecaster the available history allows.
+
+    The primary algorithm is multiplicative Holt-Winters (one season per
+    day); slices younger than two seasons fall back to double exponential
+    smoothing, then to the naive last-value predictor, and finally -- with no
+    history at all -- to a pessimistic full-SLA forecast (new slices are not
+    overbooked until their behaviour has been learnt).
+    """
+
+    primary: Forecaster
+    fallback: Forecaster = field(default_factory=DoubleExponentialForecaster)
+    last_resort: Forecaster = field(default_factory=NaiveForecaster)
+
+    def forecast_for(self, request: SliceRequest, history: np.ndarray) -> ForecastInput:
+        history = np.asarray(history, dtype=float)
+        for forecaster in (self.primary, self.fallback, self.last_resort):
+            if forecaster.can_forecast(history):
+                outcome = forecaster.forecast(history, horizon=1)
+                return outcome.as_forecast_input(request.sla_mbps)
+        return ForecastInput.pessimistic(request.sla_mbps)
+
+
+class E2EOrchestrator:
+    """Hierarchical end-to-end orchestrator with overbooking support."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        solver,
+        config: OrchestratorConfig | None = None,
+        path_set: PathSet | None = None,
+        forecasting: ForecastingBlock | None = None,
+        monitoring: MonitoringService | None = None,
+        slice_manager: SliceManager | None = None,
+        problem_options: ProblemOptions | None = None,
+    ):
+        self.topology = topology
+        self.solver = solver
+        self.config = config or OrchestratorConfig()
+        self.path_set = path_set or compute_path_sets(
+            topology, k=self.config.candidate_paths_per_pair
+        )
+        self.forecasting = forecasting or ForecastingBlock(
+            primary=HoltWintersForecaster(season_length=self.config.epochs_per_day)
+        )
+        self.monitoring = monitoring or MonitoringService()
+        self.slice_manager = slice_manager or SliceManager()
+        self.registry = SliceRegistry()
+        self.controllers = ControllerSet.for_topology(topology)
+        self._base_problem_options = problem_options or ProblemOptions(
+            epochs_per_day=self.config.epochs_per_day,
+            deficit_cost=self.config.deficit_cost,
+        )
+        #: Per-slice forecasts that take precedence over the online
+        #: forecasting block.  Used by the steady-state evaluation scenarios
+        #: (Fig. 5 / Fig. 6), where the orchestrator is assumed to already
+        #: know each slice's demand statistics.
+        self.forecast_overrides: dict[str, ForecastInput] = {}
+        self.last_problem: ACRRProblem | None = None
+        self.last_decision: OrchestrationDecision | None = None
+
+    # ------------------------------------------------------------------ #
+    # Request intake
+    # ------------------------------------------------------------------ #
+    def submit_request(self, request: SliceRequest) -> None:
+        """Tenant-facing entry point (delegates to the slice manager)."""
+        self.slice_manager.submit(request)
+
+    # ------------------------------------------------------------------ #
+    # Monitoring feedback
+    # ------------------------------------------------------------------ #
+    def observe_load(
+        self,
+        slice_name: str,
+        base_station: str,
+        epoch: int,
+        samples_mbps: list[float] | np.ndarray,
+    ) -> None:
+        """Feed monitoring samples collected by the controllers."""
+        self.monitoring.record_samples(slice_name, base_station, epoch, samples_mbps)
+
+    # ------------------------------------------------------------------ #
+    # Decision epoch
+    # ------------------------------------------------------------------ #
+    def forecast_for(self, request: SliceRequest) -> ForecastInput:
+        """Forecast the next-epoch peak load of one slice."""
+        override = self.forecast_overrides.get(request.name)
+        if override is not None:
+            return override.clamped(request.sla_mbps)
+        history = self.monitoring.peak_history(request.name)
+        return self.forecasting.forecast_for(request, history)
+
+    def run_epoch(self, epoch: int) -> OrchestrationDecision:
+        """Run the AC-RR cycle for one decision epoch and enforce the result."""
+        self.registry.expire_due(epoch)
+
+        new_requests = self.slice_manager.collect_for_epoch(epoch)
+        for request in new_requests:
+            if request.name not in self.registry:
+                self.registry.register(request)
+
+        committed_records = self.registry.active_slices(epoch)
+        committed_requests = []
+        for record in committed_records:
+            committed = record.request.as_committed()
+            if record.compute_unit is not None:
+                # Remember where the slice already runs so solvers (notably
+                # the KAC heuristic) keep it anchored there.
+                committed.metadata["preferred_compute_unit"] = record.compute_unit
+            committed_requests.append(committed)
+        candidate_new = [
+            request
+            for request in new_requests
+            if self.registry.record(request.name).state is SliceState.REQUESTED
+        ]
+        requests = committed_requests + candidate_new
+        if not requests:
+            self.last_problem = None
+            self.last_decision = None
+            return OrchestrationDecision(
+                allocations={},
+                objective_value=0.0,
+                stats=_idle_stats(),
+            )
+
+        forecasts = {request.name: self.forecast_for(request) for request in requests}
+        options = self._problem_options(bool(committed_requests))
+        problem = ACRRProblem(
+            topology=self.topology,
+            path_set=self.path_set,
+            requests=requests,
+            forecasts=forecasts,
+            options=options,
+        )
+        decision = self.solver.solve(problem)
+        self._update_registry(epoch, decision)
+        self.controllers.apply(problem, decision)
+        self.last_problem = problem
+        self.last_decision = decision
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _problem_options(self, has_committed: bool) -> ProblemOptions:
+        allow_deficit = has_committed and self.config.allow_deficit_for_committed
+        if allow_deficit == self._base_problem_options.allow_deficit:
+            return self._base_problem_options
+        from dataclasses import replace
+
+        return replace(self._base_problem_options, allow_deficit=allow_deficit)
+
+    def _update_registry(self, epoch: int, decision: OrchestrationDecision) -> None:
+        for name, allocation in decision.allocations.items():
+            record = self.registry.record(name)
+            if allocation.accepted:
+                self.registry.mark_admitted(
+                    name,
+                    epoch=epoch,
+                    compute_unit=allocation.compute_unit,
+                    reservations_mbps=allocation.reservations_mbps,
+                )
+            elif record.state is SliceState.REQUESTED:
+                self.registry.mark_rejected(name)
+            elif record.state is SliceState.ADMITTED:
+                # A committed slice can never be silently dropped: if the solver
+                # could not fit it, the deficit variables should have absorbed
+                # the overload instead.  Surface this loudly.
+                raise RuntimeError(
+                    f"solver dropped committed slice {name!r}; "
+                    "run with allow_deficit_for_committed=True"
+                )
+
+
+def _idle_stats():
+    from repro.core.solution import SolverStats
+
+    return SolverStats(solver="idle", iterations=0, runtime_s=0.0, optimal=True)

@@ -1,0 +1,94 @@
+"""The slice manager: the tenant-facing entry point of the control plane.
+
+Tenants submit slice requests (Phi_tau) at any time; the slice manager queues
+them and, at the beginning of every decision epoch, hands the batch collected
+during the previous epoch to the E2E orchestrator (Section 2.2.1).  The paper
+models each request as a TOSCA network-service template; we keep a light
+dictionary descriptor with the same information so the controllers have a
+concrete artefact to consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.slices import SliceRequest
+
+
+@dataclass(frozen=True)
+class SliceDescriptor:
+    """A TOSCA-like network-service descriptor derived from a slice request."""
+
+    slice_name: str
+    slice_type: str
+    sla_mbps: float
+    latency_tolerance_ms: float
+    duration_epochs: int
+    compute_model: dict[str, float]
+    reward: float
+    penalty_factor: float
+
+    @classmethod
+    def from_request(cls, request: SliceRequest) -> "SliceDescriptor":
+        return cls(
+            slice_name=request.name,
+            slice_type=request.template.name,
+            sla_mbps=request.sla_mbps,
+            latency_tolerance_ms=request.latency_tolerance_ms,
+            duration_epochs=request.duration_epochs,
+            compute_model={
+                "baseline_cpus": request.compute_baseline_cpus,
+                "cpus_per_mbps": request.compute_cpus_per_mbps,
+            },
+            reward=request.reward,
+            penalty_factor=request.penalty_factor,
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary form (what would be serialised to TOSCA/REST)."""
+        return {
+            "slice_name": self.slice_name,
+            "slice_type": self.slice_type,
+            "sla_mbps": self.sla_mbps,
+            "latency_tolerance_ms": self.latency_tolerance_ms,
+            "duration_epochs": self.duration_epochs,
+            "compute_model": dict(self.compute_model),
+            "reward": self.reward,
+            "penalty_factor": self.penalty_factor,
+        }
+
+
+@dataclass
+class SliceManager:
+    """Queues tenant requests and releases them per decision epoch."""
+
+    _pending: list[SliceRequest] = field(default_factory=list)
+    _submitted_names: set = field(default_factory=set)
+
+    def submit(self, request: SliceRequest) -> SliceDescriptor:
+        """Accept a tenant's slice request into the intake queue."""
+        if request.name in self._submitted_names:
+            raise ValueError(f"a slice named {request.name!r} was already submitted")
+        self._submitted_names.add(request.name)
+        self._pending.append(request)
+        return SliceDescriptor.from_request(request)
+
+    def submit_many(self, requests: list[SliceRequest]) -> list[SliceDescriptor]:
+        return [self.submit(request) for request in requests]
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def collect_for_epoch(self, epoch: int) -> list[SliceRequest]:
+        """Release the requests that the orchestrator should consider at ``epoch``.
+
+        A request is released once its arrival epoch has been reached; requests
+        arriving later stay queued.  Released requests leave the queue -- the
+        orchestrator owns them from then on.
+        """
+        due = [request for request in self._pending if request.arrival_epoch <= epoch]
+        self._pending = [
+            request for request in self._pending if request.arrival_epoch > epoch
+        ]
+        return due

@@ -1,0 +1,136 @@
+"""Slice lifecycle state, kept by the E2E orchestrator.
+
+The orchestrator is the only stateful control-plane entity (Section 2.2.2):
+it remembers which slices were admitted, where they were anchored, and when
+they expire, so that constraint (13) -- once admitted, a slice stays admitted
+until it expires -- can be enforced in later epochs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.slices import SliceRequest
+
+
+class SliceState(str, enum.Enum):
+    """Lifecycle of a slice request."""
+
+    REQUESTED = "requested"
+    ADMITTED = "admitted"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+
+
+class SliceStateError(RuntimeError):
+    """Raised on an invalid lifecycle transition."""
+
+
+@dataclass
+class SliceRecord:
+    """Orchestrator-side record of one slice request."""
+
+    request: SliceRequest
+    state: SliceState = SliceState.REQUESTED
+    admitted_epoch: int | None = None
+    compute_unit: str | None = None
+    last_reservations_mbps: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.request.name
+
+    def expires_at(self) -> int:
+        """First epoch at which an admitted slice stops being provisioned."""
+        start = self.admitted_epoch if self.admitted_epoch is not None else self.request.arrival_epoch
+        return start + self.request.duration_epochs
+
+    def is_active(self, epoch: int) -> bool:
+        return self.state is SliceState.ADMITTED and epoch < self.expires_at()
+
+
+class SliceRegistry:
+    """All slice records known to the orchestrator."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, SliceRecord] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(self, request: SliceRequest) -> SliceRecord:
+        """Register a freshly received request (state: REQUESTED)."""
+        if request.name in self._records:
+            raise SliceStateError(f"slice {request.name!r} is already registered")
+        record = SliceRecord(request=request)
+        self._records[request.name] = record
+        return record
+
+    def record(self, name: str) -> SliceRecord:
+        return self._records[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def all_records(self) -> list[SliceRecord]:
+        return list(self._records.values())
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def mark_admitted(
+        self,
+        name: str,
+        epoch: int,
+        compute_unit: str | None,
+        reservations_mbps: dict[str, float],
+    ) -> SliceRecord:
+        record = self._records[name]
+        if record.state not in (SliceState.REQUESTED, SliceState.ADMITTED):
+            raise SliceStateError(
+                f"cannot admit slice {name!r} from state {record.state.value}"
+            )
+        if record.state is SliceState.REQUESTED:
+            record.admitted_epoch = epoch
+        record.state = SliceState.ADMITTED
+        record.compute_unit = compute_unit
+        record.last_reservations_mbps = dict(reservations_mbps)
+        return record
+
+    def mark_rejected(self, name: str) -> SliceRecord:
+        record = self._records[name]
+        if record.state is SliceState.ADMITTED:
+            raise SliceStateError(
+                f"cannot reject slice {name!r}: it was already admitted "
+                "(admitted slices can only expire)"
+            )
+        record.state = SliceState.REJECTED
+        return record
+
+    def expire_due(self, epoch: int) -> list[SliceRecord]:
+        """Expire every admitted slice whose lifetime ended before ``epoch``."""
+        expired = []
+        for record in self._records.values():
+            if record.state is SliceState.ADMITTED and epoch >= record.expires_at():
+                record.state = SliceState.EXPIRED
+                expired.append(record)
+        return expired
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def active_slices(self, epoch: int) -> list[SliceRecord]:
+        """Admitted slices that must remain provisioned during ``epoch``."""
+        return [record for record in self._records.values() if record.is_active(epoch)]
+
+    def admitted_names(self) -> list[str]:
+        return [
+            record.name
+            for record in self._records.values()
+            if record.state is SliceState.ADMITTED
+        ]
+
+    def counts_by_state(self) -> dict[SliceState, int]:
+        counts = {state: 0 for state in SliceState}
+        for record in self._records.values():
+            counts[record.state] += 1
+        return counts

@@ -1,0 +1,110 @@
+"""A small in-memory time-series store.
+
+The paper's implementation persists monitoring samples in InfluxDB; the
+simulation only needs an ordered, queryable record of (epoch, value) points
+per series, which this module provides without external dependencies.
+Series are identified by a name plus a tag dictionary, mirroring the
+measurement/tag model of the original store.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _series_key(name: str, tags: dict[str, str] | None) -> tuple:
+    tags = tags or {}
+    return (name, tuple(sorted(tags.items())))
+
+
+@dataclass
+class _Series:
+    epochs: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, epoch: int, value: float) -> None:
+        if self.epochs and epoch < self.epochs[-1]:
+            raise ValueError(
+                f"samples must be appended in epoch order (got {epoch} after {self.epochs[-1]})"
+            )
+        self.epochs.append(int(epoch))
+        self.values.append(float(value))
+
+
+class TimeSeriesStore:
+    """Append-only store of per-epoch samples, indexed by (name, tags)."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple, _Series] = {}
+
+    # ------------------------------------------------------------------ #
+    def write(
+        self, name: str, epoch: int, value: float, tags: dict[str, str] | None = None
+    ) -> None:
+        """Append one sample to a series (created on first write)."""
+        key = _series_key(name, tags)
+        self._series.setdefault(key, _Series()).append(epoch, value)
+
+    def write_many(
+        self,
+        name: str,
+        epoch: int,
+        values: list[float] | np.ndarray,
+        tags: dict[str, str] | None = None,
+    ) -> None:
+        """Append several samples sharing the same epoch (monitoring samples)."""
+        for value in values:
+            self.write(name, epoch, float(value), tags)
+
+    # ------------------------------------------------------------------ #
+    def values(
+        self,
+        name: str,
+        tags: dict[str, str] | None = None,
+        start_epoch: int | None = None,
+        end_epoch: int | None = None,
+    ) -> np.ndarray:
+        """All sample values of a series, optionally restricted to an epoch range."""
+        series = self._series.get(_series_key(name, tags))
+        if series is None:
+            return np.array([])
+        lo = 0 if start_epoch is None else bisect_left(series.epochs, start_epoch)
+        hi = len(series.epochs) if end_epoch is None else bisect_right(series.epochs, end_epoch)
+        return np.asarray(series.values[lo:hi])
+
+    def per_epoch_aggregate(
+        self,
+        name: str,
+        tags: dict[str, str] | None = None,
+        aggregate: str = "max",
+    ) -> dict[int, float]:
+        """Aggregate samples per epoch ('max', 'mean' or 'sum').
+
+        The orchestrator consumes the per-epoch *peak*, i.e. ``max``.
+        """
+        series = self._series.get(_series_key(name, tags))
+        if series is None:
+            return {}
+        if aggregate not in ("max", "mean", "sum"):
+            raise ValueError(f"unsupported aggregate {aggregate!r}")
+        grouped: dict[int, list[float]] = {}
+        for epoch, value in zip(series.epochs, series.values):
+            grouped.setdefault(epoch, []).append(value)
+        if aggregate == "max":
+            return {epoch: max(values) for epoch, values in grouped.items()}
+        if aggregate == "mean":
+            return {epoch: float(np.mean(values)) for epoch, values in grouped.items()}
+        return {epoch: float(np.sum(values)) for epoch, values in grouped.items()}
+
+    def series_names(self) -> list[tuple[str, dict[str, str]]]:
+        """All stored series as (name, tags) pairs."""
+        return [(name, dict(tags)) for name, tags in self._series.keys()]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def clear(self) -> None:
+        self._series.clear()

@@ -1,0 +1,157 @@
+"""Shared machinery for the decomposition-based solvers (Benders and KAC).
+
+Both algorithms of Section 4 work on the same *slave* linear program
+(Problem 3): for a fixed admission/path vector ``x``, choose the reservations
+``z`` (and the linearisation variables ``y``) that minimise the risk part of
+the objective subject to the capacity and coupling constraints.  This module
+builds that LP once, in the parametric form
+
+    min  d' u          u = (y, z) >= 0
+    s.t. G u <= h0 + H x,
+
+so that solving it for a new ``x`` only changes the right-hand side.  The
+dual multipliers of a feasible solve yield Benders *optimality cuts*; the
+phase-1 certificate of an infeasible solve yields *feasibility cuts*, which
+are also exactly the knapsack weights (27)-(28) used by the KAC heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.lpsolver import LPSolution, infeasibility_certificate, solve_lp
+from repro.core.problem import ACRRProblem
+
+#: Numerical tolerance below which a phase-1 optimum counts as "feasible".
+FEASIBILITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class SlaveSolveOutcome:
+    """Result of evaluating the slave LP at a fixed admission vector."""
+
+    feasible: bool
+    objective: float
+    y: np.ndarray
+    z: np.ndarray
+    duals: np.ndarray
+    infeasibility: float
+    ray: np.ndarray
+
+
+class SlaveProblem:
+    """The parametric slave LP shared by the Benders and KAC solvers."""
+
+    def __init__(self, problem: ACRRProblem):
+        self.problem = problem
+        n = problem.num_items
+        self.num_items = n
+
+        capacity = problem.capacity_block()
+        coupling = problem.coupling_block()
+
+        # Constraint matrix over u = [y, z].
+        g_capacity = sparse.hstack([capacity.a_y, capacity.a_z], format="csr")
+        g_coupling = sparse.hstack([coupling.a_y, coupling.a_z], format="csr")
+        self.g_matrix: sparse.csr_matrix = sparse.vstack(
+            [g_capacity, g_coupling], format="csr"
+        )
+        # Right-hand side h(x) = h0 + H x.
+        self.h0: np.ndarray = np.concatenate([capacity.upper, coupling.upper])
+        self.h_matrix: sparse.csr_matrix = sparse.vstack(
+            [-capacity.a_x, -coupling.a_x], format="csr"
+        )
+        self.row_labels: list[str] = list(capacity.labels) + list(coupling.labels)
+        self.num_capacity_rows = capacity.num_rows
+
+        # Slave objective: only the y-part of Psi is decided by the slave.
+        self.d: np.ndarray = np.concatenate([problem.objective_y(), np.zeros(n)])
+        self.u_lower = np.zeros(2 * n)
+        self.u_upper = np.full(2 * n, np.inf)
+
+    # ------------------------------------------------------------------ #
+    def rhs(self, x: np.ndarray) -> np.ndarray:
+        """h(x) = h0 + H x for a given admission vector."""
+        x = np.asarray(x, dtype=float)
+        return self.h0 + self.h_matrix.dot(x)
+
+    def objective_lower_bound(self) -> float:
+        """A valid lower bound on the slave optimum for any admission vector.
+
+        The linearisation variable y never exceeds the SLA bitrate, and its
+        objective coefficients are non-positive, so the slave objective is
+        bounded below by sum_i c_y[i] * Lambda_i.  Used to bound the master's
+        surrogate variable theta before any optimality cut exists.
+        """
+        sla = np.array([item.sla_mbps for item in self.problem.items])
+        c_y = self.problem.objective_y()
+        return float(np.sum(np.minimum(c_y * sla, 0.0)))
+
+    def evaluate(self, x: np.ndarray) -> SlaveSolveOutcome:
+        """Solve the slave LP at ``x``; fall back to the phase-1 certificate."""
+        b = self.rhs(x)
+        solution: LPSolution = solve_lp(
+            self.d, self.g_matrix, b, self.u_lower, self.u_upper
+        )
+        n = self.num_items
+        if solution.success:
+            return SlaveSolveOutcome(
+                feasible=True,
+                objective=solution.objective,
+                y=solution.primal[:n],
+                z=solution.primal[n:],
+                duals=solution.duals_upper,
+                infeasibility=0.0,
+                ray=np.zeros(len(b)),
+            )
+        infeasibility, ray = infeasibility_certificate(
+            self.g_matrix, b, self.u_lower, self.u_upper
+        )
+        if infeasibility <= FEASIBILITY_TOLERANCE:
+            # The LP failed for numerical reasons but is essentially feasible;
+            # retry the certificate solution as a (conservative) outcome.
+            raise RuntimeError(
+                "slave LP solver failure despite a feasible phase-1 problem: "
+                f"{solution.status}"
+            )
+        return SlaveSolveOutcome(
+            feasible=False,
+            objective=float("inf"),
+            y=np.zeros(n),
+            z=np.zeros(n),
+            duals=np.zeros(len(b)),
+            infeasibility=infeasibility,
+            ray=ray,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cut generation
+    # ------------------------------------------------------------------ #
+    def cut_from_multipliers(self, mu: np.ndarray) -> tuple[np.ndarray, float]:
+        """Translate dual multipliers into cut coefficients.
+
+        For multipliers ``mu >= 0`` of the slave rows, both cut families have
+        the common linear form over x:
+
+            (H' mu)' x >= -h0' mu          (feasibility cut)
+            theta + (H' mu)' x >= -h0' mu  (optimality cut)
+
+        Returns ``(coefficients over x, right-hand side)`` of that inequality.
+        """
+        mu = np.asarray(mu, dtype=float)
+        coeff = np.asarray(self.h_matrix.T.dot(mu)).ravel()
+        rhs = -float(np.dot(self.h0, mu))
+        return coeff, rhs
+
+    def knapsack_weights(self, ray: np.ndarray) -> tuple[np.ndarray, float]:
+        """KAC weights (27)-(28): per-item weights and the knapsack capacity.
+
+        A feasibility cut ``(H' mu)' x >= -h0' mu`` is rewritten as
+        ``sum_i w_i x_i <= W`` with ``w_i = -(H' mu)_i`` and ``W = h0' mu``,
+        which is the multi-constrained knapsack form of Problem 6.
+        """
+        coeff, rhs = self.cut_from_multipliers(ray)
+        return -coeff, -rhs

@@ -1,0 +1,94 @@
+"""Greedy first-fit-decreasing solver for grouped 0-1 knapsack problems.
+
+The KAC heuristic (Algorithm 2 of the paper) reduces the Benders master
+problem to a single-constraint 0-1 knapsack and solves it with the classic
+first-fit-decreasing policy: items are ranked by value density and packed
+greedily while capacity remains.  This module implements that solver in a
+generic, reusable form; the slice-specific bundling lives in
+:mod:`repro.core.kac`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate item of a 0-1 knapsack instance.
+
+    Attributes
+    ----------
+    key:
+        Opaque identifier returned when the item is selected.
+    value:
+        Profit of selecting the item (to be maximised).
+    weight:
+        Capacity consumed by the item.  Non-positive weights are allowed (the
+        aggregated KAC weights can be negative); such items never consume
+        capacity.
+    group:
+        At most one item per group may be selected (constraint (25): a tenant
+        is admitted through at most one compute-unit bundle).
+    mandatory:
+        Mandatory items are always selected first, regardless of value or
+        remaining capacity (committed slices of constraint (13)).
+    """
+
+    key: Hashable
+    value: float
+    weight: float
+    group: Hashable | None = None
+    mandatory: bool = False
+
+    def density(self) -> float:
+        """Value density used for the first-fit-decreasing ordering."""
+        if self.weight <= 0.0:
+            return float("inf")
+        return self.value / self.weight
+
+
+def solve_knapsack_ffd(
+    items: Iterable[KnapsackItem], capacity: float
+) -> list[KnapsackItem]:
+    """Select items greedily by decreasing value density.
+
+    Returns the selected items.  Only items with strictly positive value are
+    considered (selecting a value-0 item can never improve the objective);
+    mandatory items are the exception and are always included.
+    """
+    selected: list[KnapsackItem] = []
+    used_groups: set[Hashable] = set()
+    remaining = float(capacity)
+
+    candidates = list(items)
+    for item in candidates:
+        if not item.mandatory:
+            continue
+        if item.group is not None and item.group in used_groups:
+            continue
+        selected.append(item)
+        if item.group is not None:
+            used_groups.add(item.group)
+        remaining -= max(item.weight, 0.0)
+
+    optional = [
+        item
+        for item in candidates
+        if not item.mandatory and item.value > 0.0
+        and not (item.group is not None and item.group in used_groups)
+    ]
+    optional.sort(key=lambda item: (item.density(), item.value), reverse=True)
+
+    for item in optional:
+        if item.group is not None and item.group in used_groups:
+            continue
+        weight = max(item.weight, 0.0)
+        if weight > remaining + 1e-12:
+            continue
+        selected.append(item)
+        remaining -= weight
+        if item.group is not None:
+            used_groups.add(item.group)
+    return selected

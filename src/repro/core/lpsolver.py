@@ -1,0 +1,142 @@
+"""Thin wrappers around the HiGHS LP/MILP backends shipped with SciPy.
+
+The paper solves its optimisation problems with IBM CPLEX; we substitute the
+open-source HiGHS solvers exposed through :func:`scipy.optimize.linprog` and
+:func:`scipy.optimize.milp` (see DESIGN.md).  This module centralises the
+calls so the rest of the code never touches solver-specific details, and adds
+the two pieces CPLEX gives for free that HiGHS does not:
+
+* dual values (Lagrange multipliers) of inequality constraints, needed for
+  Benders optimality cuts, and
+* Farkas-style infeasibility certificates, obtained from a phase-1 LP, needed
+  for Benders feasibility cuts and for the KAC heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Result of a continuous LP solve."""
+
+    success: bool
+    status: str
+    objective: float
+    primal: np.ndarray
+    duals_upper: np.ndarray
+    infeasible: bool
+
+
+@dataclass(frozen=True)
+class MILPSolution:
+    """Result of a mixed-integer solve."""
+
+    success: bool
+    status: str
+    objective: float
+    values: np.ndarray
+    mip_gap: float
+
+
+def solve_lp(
+    cost: np.ndarray,
+    a_ub: sparse.csr_matrix,
+    b_ub: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> LPSolution:
+    """Solve ``min c'u  s.t.  A u <= b,  lower <= u <= upper``.
+
+    Returns the dual multipliers of the inequality rows as *non-negative*
+    numbers ``mu`` such that the dual objective is ``-b' mu`` (the sign
+    convention used by the Benders derivation in the paper).
+    """
+    bounds = np.column_stack([lower, upper])
+    result = optimize.linprog(
+        c=np.asarray(cost, dtype=float),
+        A_ub=a_ub,
+        b_ub=np.asarray(b_ub, dtype=float),
+        bounds=bounds,
+        method="highs",
+    )
+    infeasible = result.status == 2
+    duals = np.zeros(a_ub.shape[0])
+    if result.status == 0 and result.ineqlin is not None:
+        # HiGHS marginals are <= 0 for <= constraints in a minimisation.
+        duals = -np.asarray(result.ineqlin.marginals, dtype=float)
+        duals = np.clip(duals, 0.0, None)
+    return LPSolution(
+        success=result.status == 0,
+        status=result.message,
+        objective=float(result.fun) if result.status == 0 else float("nan"),
+        primal=np.asarray(result.x, dtype=float) if result.x is not None else np.zeros(len(cost)),
+        duals_upper=duals,
+        infeasible=infeasible,
+    )
+
+
+def infeasibility_certificate(
+    a_ub: sparse.csr_matrix,
+    b_ub: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """Phase-1 LP: measure infeasibility and return a Farkas-style ray.
+
+    Solves ``min 1's  s.t.  A u - s <= b, s >= 0, lower <= u <= upper``.  The
+    optimal value is 0 exactly when the original system is feasible.  When it
+    is positive, the dual multipliers of the relaxed rows form a certificate
+    ``mu >= 0`` with ``b' mu < 0`` on any violated combination; used as the
+    "extreme ray" of the dual slave problem in Algorithm 1 / Algorithm 3.
+    """
+    num_rows, num_vars = a_ub.shape
+    a_ext = sparse.hstack([a_ub, -sparse.identity(num_rows, format="csr")], format="csr")
+    cost = np.concatenate([np.zeros(num_vars), np.ones(num_rows)])
+    lower_ext = np.concatenate([lower, np.zeros(num_rows)])
+    upper_ext = np.concatenate([upper, np.full(num_rows, np.inf)])
+    solution = solve_lp(cost, a_ext, b_ub, lower_ext, upper_ext)
+    if not solution.success:
+        raise RuntimeError(
+            f"phase-1 feasibility LP failed unexpectedly: {solution.status}"
+        )
+    return solution.objective, solution.duals_upper
+
+
+def solve_milp(
+    cost: np.ndarray,
+    constraints: list[optimize.LinearConstraint],
+    integrality: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    time_limit_s: float | None = None,
+    mip_rel_gap: float = 1e-6,
+) -> MILPSolution:
+    """Solve a mixed-integer linear program with HiGHS."""
+    options: dict[str, float] = {"mip_rel_gap": mip_rel_gap}
+    if time_limit_s is not None:
+        options["time_limit"] = float(time_limit_s)
+    result = optimize.milp(
+        c=np.asarray(cost, dtype=float),
+        constraints=constraints,
+        integrality=np.asarray(integrality),
+        bounds=optimize.Bounds(lb=lower, ub=upper),
+        options=options,
+    )
+    values = (
+        np.asarray(result.x, dtype=float)
+        if result.x is not None
+        else np.zeros(len(cost))
+    )
+    gap = float(result.mip_gap) if getattr(result, "mip_gap", None) is not None else 0.0
+    return MILPSolution(
+        success=result.status == 0,
+        status=result.message,
+        objective=float(result.fun) if result.fun is not None else float("nan"),
+        values=values,
+        mip_gap=gap,
+    )

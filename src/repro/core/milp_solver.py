@@ -1,0 +1,154 @@
+"""Direct (monolithic) MILP solution of the AC-RR problem.
+
+Problem 2 of the paper is a mixed-integer linear program; this solver hands
+the whole thing to HiGHS in one shot.  It serves two purposes:
+
+* it is the reference optimum against which the Benders decomposition and the
+  KAC heuristic are validated in the test-suite, and
+* it is the most convenient solver for the no-overbooking baseline and for
+  instances with the big-M deficit relaxation of Section 3.4 (used by the
+  orchestrator once slices have been committed in earlier epochs).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.core.lpsolver import solve_milp
+from repro.core.problem import ACRRProblem, InfeasibleProblemError
+from repro.core.solution import (
+    OrchestrationDecision,
+    SolverStats,
+    decision_from_vectors,
+)
+
+_DEFICIT_DOMAINS = ("radio", "transport", "compute")
+
+
+class DirectMILPSolver:
+    """Solve the AC-RR MILP (Problem 2) monolithically with HiGHS."""
+
+    def __init__(
+        self,
+        time_limit_s: float | None = 120.0,
+        mip_rel_gap: float = 1e-6,
+    ):
+        self.time_limit_s = time_limit_s
+        self.mip_rel_gap = mip_rel_gap
+
+    # ------------------------------------------------------------------ #
+    def solve(self, problem: ACRRProblem) -> OrchestrationDecision:
+        """Return the optimal orchestration decision for ``problem``."""
+        start = time.perf_counter()
+        n = problem.num_items
+        use_deficit = problem.options.allow_deficit
+        num_deficit = len(_DEFICIT_DOMAINS) if use_deficit else 0
+        num_vars = 3 * n + num_deficit
+
+        cost = np.concatenate(
+            [
+                problem.objective_x(),
+                np.zeros(n),
+                problem.objective_y(),
+                np.full(num_deficit, problem.options.deficit_cost),
+            ]
+        )
+
+        constraints = []
+        capacity = problem.capacity_block()
+        cap_matrix = sparse.hstack(
+            [capacity.a_x, capacity.a_z, capacity.a_y], format="csr"
+        )
+        if use_deficit:
+            cap_matrix = sparse.hstack(
+                [cap_matrix, -self._deficit_columns(problem)], format="csr"
+            )
+        constraints.append(
+            optimize.LinearConstraint(cap_matrix, capacity.lower, capacity.upper)
+        )
+
+        selection = problem.selection_block()
+        if selection.num_rows:
+            sel_matrix = sparse.hstack(
+                [
+                    selection.a_x,
+                    sparse.csr_matrix((selection.num_rows, 2 * n + num_deficit)),
+                ],
+                format="csr",
+            )
+            constraints.append(
+                optimize.LinearConstraint(sel_matrix, selection.lower, selection.upper)
+            )
+
+        coupling = problem.coupling_block()
+        coup_matrix = sparse.hstack(
+            [coupling.a_x, coupling.a_z, coupling.a_y], format="csr"
+        )
+        if use_deficit:
+            coup_matrix = sparse.hstack(
+                [coup_matrix, sparse.csr_matrix((coupling.num_rows, num_deficit))],
+                format="csr",
+            )
+        constraints.append(
+            optimize.LinearConstraint(coup_matrix, coupling.lower, coupling.upper)
+        )
+
+        sla = np.array([item.sla_mbps for item in problem.items])
+        lower = np.zeros(num_vars)
+        upper = np.concatenate(
+            [np.ones(n), sla, sla, np.full(num_deficit, np.inf)]
+        )
+        integrality = np.concatenate(
+            [np.ones(n), np.zeros(2 * n + num_deficit)]
+        )
+
+        result = solve_milp(
+            cost=cost,
+            constraints=constraints,
+            integrality=integrality,
+            lower=lower,
+            upper=upper,
+            time_limit_s=self.time_limit_s,
+            mip_rel_gap=self.mip_rel_gap,
+        )
+        runtime = time.perf_counter() - start
+        if not result.success:
+            raise InfeasibleProblemError(
+                f"direct MILP solve failed: {result.status}"
+            )
+
+        x = np.round(result.values[:n])
+        z = result.values[n : 2 * n]
+        deficits: dict[str, float] = {}
+        if use_deficit:
+            for domain, value in zip(_DEFICIT_DOMAINS, result.values[3 * n :]):
+                deficits[domain] = float(value)
+        stats = SolverStats(
+            solver="direct-milp",
+            iterations=1,
+            runtime_s=runtime,
+            optimal=result.mip_gap <= max(self.mip_rel_gap, 1e-5),
+            gap=result.mip_gap,
+            message=result.status,
+        )
+        return decision_from_vectors(problem, x, z, stats, deficits)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _deficit_columns(problem: ACRRProblem) -> sparse.csr_matrix:
+        """One column per deficit domain, hitting that domain's capacity rows."""
+        domains = problem.deficit_domains()
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for row, domain in enumerate(domains):
+            col = _DEFICIT_DOMAINS.index(domain)
+            rows.append(row)
+            cols.append(col)
+            vals.append(1.0)
+        return sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(len(domains), len(_DEFICIT_DOMAINS))
+        )

@@ -1,0 +1,556 @@
+"""Construction of the AC-RR (admission control & resource reservation) problem.
+
+This module turns a topology, a set of slice requests and the per-tenant
+forecasts into the mixed-integer linear program of Section 3 (Problem 2):
+
+* one binary variable ``x_{tau,p}`` per (tenant, candidate path) pair,
+  deciding whether tenant ``tau`` is served through path ``p``;
+* one continuous variable ``z_{tau,p}`` with the bitrate *reserved* for the
+  tenant on that path (the overbooking lever: ``lambda_hat <= z <= Lambda``);
+* one auxiliary variable ``y_{tau,p} = z_{tau,p} * x_{tau,p}`` introduced by
+  the linearisation (constraints (10)-(12)).
+
+The objective is the linearised expected cost
+
+    Psi(x, y) = sum_i [ (Lambda_i xi_i K_i / (Lambda_i - lambda_hat_i)) - R_i ] x_i
+                - [ xi_i K_i / (Lambda_i - lambda_hat_i) ] y_i
+
+subject to the capacity constraints (2)-(4), the path-selection constraints
+(5)-(7) and the coupling constraints (8)-(12).  Three modelling choices are
+worth calling out (all documented in DESIGN.md):
+
+* **Delay constraint (7)** is enforced by *filtering* the candidate paths of
+  each tenant to those with ``D_p <= Delta_tau``; together with the
+  at-most-one-path constraint (5) this is exactly equivalent to the explicit
+  linear constraint and keeps the problem smaller.
+* **Per-path reward/penalty.**  The paper's objective sums the reward over
+  every (tenant, path) pair, but its evaluation counts the reward *once per
+  admitted tenant* (an admitted tenant holds exactly one path per base
+  station).  We therefore spread the tenant reward and penalty uniformly over
+  the base stations (``R_p = R / B``), which makes the MILP objective equal to
+  the per-tenant accounting used in the evaluation.
+* **Constraint (6)** ("an admitted slice gets a slice of every BS, all
+  anchored at the same CU") is implemented as per-CU equality chains between
+  consecutive base stations, which is equivalent to the paper's all-pairs
+  formulation with O(B) instead of O(B^2) rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.forecast_inputs import ForecastInput
+from repro.core.risk import deficit_probability_proxy
+from repro.core.slices import SliceRequest
+from repro.topology.network import NetworkTopology
+from repro.topology.paths import Path, PathSet
+
+
+@dataclass(frozen=True)
+class ProblemOptions:
+    """Knobs controlling how the AC-RR MILP is built.
+
+    Attributes
+    ----------
+    overbooking:
+        When False the problem becomes the *no-overbooking* baseline of the
+        evaluation: reservations are pinned to the full SLA (``z = Lambda x``)
+        and the risk term disappears from the objective.
+    allow_deficit:
+        Adds the per-domain deficit variables of Section 3.4 (big-M
+        relaxation), which keep the problem feasible when previously admitted
+        slices no longer fit.
+    deficit_cost:
+        The big-M cost of one unit of resource deficit.
+    max_paths_per_tenant_pair:
+        Optional cap on the number of candidate paths considered per
+        (tenant, BS, CU) triple after delay filtering; keeps large instances
+        tractable.
+    epochs_per_day:
+        Number of decision epochs per seasonal cycle (day).  The risk scaling
+        factor of the paper is ``xi = sigma_hat * L`` with the slice duration
+        ``L`` measured in seasonal cycles, so a one-day slice has ``xi =
+        sigma_hat`` and longer commitments are proportionally riskier.
+    """
+
+    overbooking: bool = True
+    allow_deficit: bool = False
+    deficit_cost: float = 1.0e4
+    max_paths_per_tenant_pair: int | None = None
+    epochs_per_day: int = 24
+
+    def without_overbooking(self) -> "ProblemOptions":
+        return replace(self, overbooking=False)
+
+
+@dataclass(frozen=True)
+class ProblemItem:
+    """One (tenant, candidate path) pair, i.e. one column of the MILP."""
+
+    index: int
+    tenant_index: int
+    tenant: SliceRequest
+    path: Path
+    sla_mbps: float
+    lambda_hat_mbps: float
+    sigma_hat: float
+    xi: float
+    reward_per_path: float
+    penalty_rate_per_path: float
+    compute_baseline_cpus: float
+    compute_cpus_per_mbps: float
+    radio_mhz_per_mbps: float
+    transport_overhead: float
+
+    @property
+    def risk_slope(self) -> float:
+        """xi * K / (Lambda - lambda_hat): marginal risk per Mb/s of under-provisioning."""
+        headroom = self.sla_mbps - self.lambda_hat_mbps
+        return self.xi * self.penalty_rate_per_path / headroom
+
+
+class InfeasibleProblemError(RuntimeError):
+    """Raised when the AC-RR instance has no feasible solution."""
+
+
+@dataclass
+class _ConstraintBlock:
+    """A block of sparse linear constraints ``lb <= A_x x + A_z z + A_y y <= ub``."""
+
+    a_x: sparse.csr_matrix
+    a_z: sparse.csr_matrix
+    a_y: sparse.csr_matrix
+    lower: np.ndarray
+    upper: np.ndarray
+    labels: list[str] = field(default_factory=list)
+
+    @property
+    def num_rows(self) -> int:
+        return self.a_x.shape[0]
+
+
+def _csr(rows: list[int], cols: list[int], values: list[float], shape: tuple[int, int]) -> sparse.csr_matrix:
+    return sparse.csr_matrix(
+        (np.asarray(values, dtype=float), (np.asarray(rows, dtype=int), np.asarray(cols, dtype=int))),
+        shape=shape,
+    )
+
+
+class ACRRProblem:
+    """One instance of the AC-RR problem for a single decision epoch."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        path_set: PathSet,
+        requests: list[SliceRequest],
+        forecasts: dict[str, ForecastInput],
+        options: ProblemOptions | None = None,
+    ):
+        if not requests:
+            raise ValueError("the AC-RR problem needs at least one slice request")
+        names = [request.name for request in requests]
+        if len(set(names)) != len(names):
+            raise ValueError("slice request names must be unique")
+        self.topology = topology
+        self.path_set = path_set
+        self.requests = list(requests)
+        self.options = options or ProblemOptions()
+        self._forecasts = {
+            request.name: forecasts.get(
+                request.name, ForecastInput.pessimistic(request.sla_mbps)
+            ).clamped(request.sla_mbps)
+            for request in self.requests
+        }
+        self._base_station_names = topology.base_station_names
+        self._compute_unit_names = topology.compute_unit_names
+        self._link_keys = [link.key for link in topology.links]
+        self._capacities = topology.capacities()
+        self.items: list[ProblemItem] = []
+        self._build_items()
+        self._index_items()
+
+    # ------------------------------------------------------------------ #
+    # Item construction
+    # ------------------------------------------------------------------ #
+    def _admissible_paths(self, request: SliceRequest) -> list[Path]:
+        """Candidate paths of one tenant after delay filtering (constraint (7))."""
+        admissible: list[Path] = []
+        for (bs, cu), paths in self.path_set.items():
+            eligible = [p for p in paths if p.delay_ms <= request.latency_tolerance_ms]
+            cap = self.options.max_paths_per_tenant_pair
+            if cap is not None:
+                eligible = eligible[:cap]
+            admissible.extend(eligible)
+        return admissible
+
+    def _build_items(self) -> None:
+        index = 0
+        for tenant_index, request in enumerate(self.requests):
+            forecast = self._forecasts[request.name]
+            num_bs = max(1, len(self._base_station_names))
+            reward_per_path = request.reward / num_bs
+            penalty_per_path = request.penalty_rate_per_mbps / num_bs
+            duration_days = request.duration_epochs / self.options.epochs_per_day
+            xi = forecast.sigma_hat * duration_days
+            for path in self._admissible_paths(request):
+                bs = self.topology.base_station(path.base_station)
+                overhead = max((link.overhead for link in path.links), default=1.0)
+                self.items.append(
+                    ProblemItem(
+                        index=index,
+                        tenant_index=tenant_index,
+                        tenant=request,
+                        path=path,
+                        sla_mbps=request.sla_mbps,
+                        lambda_hat_mbps=forecast.lambda_hat_mbps,
+                        sigma_hat=forecast.sigma_hat,
+                        xi=xi,
+                        reward_per_path=reward_per_path,
+                        penalty_rate_per_path=penalty_per_path,
+                        compute_baseline_cpus=request.compute_baseline_cpus,
+                        compute_cpus_per_mbps=request.compute_cpus_per_mbps,
+                        radio_mhz_per_mbps=bs.mhz_for_bitrate(1.0),
+                        transport_overhead=overhead,
+                    )
+                )
+                index += 1
+        if not self.items:
+            raise InfeasibleProblemError(
+                "no admissible (tenant, path) pair: every candidate path violates "
+                "the latency tolerances of every request"
+            )
+
+    def _index_items(self) -> None:
+        self._items_by_cu: dict[str, list[int]] = {cu: [] for cu in self._compute_unit_names}
+        self._items_by_bs: dict[str, list[int]] = {bs: [] for bs in self._base_station_names}
+        self._items_by_link: dict[tuple[str, str], list[int]] = {
+            key: [] for key in self._link_keys
+        }
+        self._items_by_tenant_bs: dict[tuple[int, str], list[int]] = {}
+        self._items_by_tenant_cu_bs: dict[tuple[int, str, str], list[int]] = {}
+        self._items_by_tenant: dict[int, list[int]] = {
+            t: [] for t in range(len(self.requests))
+        }
+        for item in self.items:
+            self._items_by_cu[item.path.compute_unit].append(item.index)
+            self._items_by_bs[item.path.base_station].append(item.index)
+            for link in item.path.links:
+                self._items_by_link[link.key].append(item.index)
+            self._items_by_tenant_bs.setdefault(
+                (item.tenant_index, item.path.base_station), []
+            ).append(item.index)
+            self._items_by_tenant_cu_bs.setdefault(
+                (item.tenant_index, item.path.compute_unit, item.path.base_station), []
+            ).append(item.index)
+            self._items_by_tenant[item.tenant_index].append(item.index)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.requests)
+
+    @property
+    def base_station_names(self) -> list[str]:
+        return list(self._base_station_names)
+
+    @property
+    def compute_unit_names(self) -> list[str]:
+        return list(self._compute_unit_names)
+
+    def forecast(self, tenant_name: str) -> ForecastInput:
+        return self._forecasts[tenant_name]
+
+    def items_of_tenant(self, tenant_index: int) -> list[ProblemItem]:
+        return [self.items[i] for i in self._items_by_tenant[tenant_index]]
+
+    def tenant_index(self, name: str) -> int:
+        for index, request in enumerate(self.requests):
+            if request.name == name:
+                return index
+        raise KeyError(f"unknown tenant {name!r}")
+
+    def without_overbooking(self) -> "ACRRProblem":
+        """A copy of this instance configured as the no-overbooking baseline."""
+        return ACRRProblem(
+            topology=self.topology,
+            path_set=self.path_set,
+            requests=self.requests,
+            forecasts={name: fc for name, fc in self._forecasts.items()},
+            options=self.options.without_overbooking(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Objective
+    # ------------------------------------------------------------------ #
+    def objective_x(self) -> np.ndarray:
+        """Coefficients of x in the (minimised) linearised objective Psi."""
+        coeffs = np.zeros(self.num_items)
+        for item in self.items:
+            if self.options.overbooking:
+                coeffs[item.index] = (
+                    item.sla_mbps * item.risk_slope - item.reward_per_path
+                )
+            else:
+                coeffs[item.index] = -item.reward_per_path
+        return coeffs
+
+    def objective_y(self) -> np.ndarray:
+        """Coefficients of y in the (minimised) linearised objective Psi."""
+        coeffs = np.zeros(self.num_items)
+        if not self.options.overbooking:
+            return coeffs
+        for item in self.items:
+            coeffs[item.index] = -item.risk_slope
+        return coeffs
+
+    def evaluate_objective(self, x: np.ndarray, z: np.ndarray) -> float:
+        """Evaluate the original (non-linearised) objective Psi(x, z)."""
+        x = np.asarray(x, dtype=float)
+        z = np.asarray(z, dtype=float)
+        total = 0.0
+        for item in self.items:
+            if x[item.index] < 0.5:
+                continue
+            if self.options.overbooking:
+                rho = item.xi * deficit_probability_proxy(
+                    reservation_mbps=z[item.index],
+                    lambda_hat_mbps=item.lambda_hat_mbps,
+                    sla_mbps=item.sla_mbps,
+                )
+                total += item.penalty_rate_per_path * rho - item.reward_per_path
+            else:
+                total += -item.reward_per_path
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Constraint blocks
+    # ------------------------------------------------------------------ #
+    def capacity_block(self) -> _ConstraintBlock:
+        """Capacity constraints (2)-(4): one row per CU, link and BS."""
+        n = self.num_items
+        rows_x: list[int] = []
+        cols_x: list[int] = []
+        vals_x: list[float] = []
+        rows_z: list[int] = []
+        cols_z: list[int] = []
+        vals_z: list[float] = []
+        upper: list[float] = []
+        labels: list[str] = []
+        row = 0
+        for cu in self._compute_unit_names:
+            for i in self._items_by_cu[cu]:
+                item = self.items[i]
+                if item.compute_baseline_cpus:
+                    rows_x.append(row)
+                    cols_x.append(i)
+                    vals_x.append(item.compute_baseline_cpus)
+                if item.compute_cpus_per_mbps:
+                    rows_z.append(row)
+                    cols_z.append(i)
+                    vals_z.append(item.compute_cpus_per_mbps)
+            upper.append(self._capacities.compute_cpus[cu])
+            labels.append(f"compute:{cu}")
+            row += 1
+        for key in self._link_keys:
+            for i in self._items_by_link[key]:
+                item = self.items[i]
+                rows_z.append(row)
+                cols_z.append(i)
+                vals_z.append(item.transport_overhead)
+            upper.append(self._capacities.transport_mbps[key])
+            labels.append(f"transport:{key[0]}--{key[1]}")
+            row += 1
+        for bs in self._base_station_names:
+            for i in self._items_by_bs[bs]:
+                item = self.items[i]
+                rows_z.append(row)
+                cols_z.append(i)
+                vals_z.append(item.radio_mhz_per_mbps)
+            upper.append(self._capacities.radio_mhz[bs])
+            labels.append(f"radio:{bs}")
+            row += 1
+        num_rows = row
+        return _ConstraintBlock(
+            a_x=_csr(rows_x, cols_x, vals_x, (num_rows, n)),
+            a_z=_csr(rows_z, cols_z, vals_z, (num_rows, n)),
+            a_y=_csr([], [], [], (num_rows, n)),
+            lower=np.full(num_rows, -np.inf),
+            upper=np.asarray(upper, dtype=float),
+            labels=labels,
+        )
+
+    def deficit_domains(self) -> list[str]:
+        """Domain of each capacity row ('compute', 'transport' or 'radio').
+
+        Used to attach the per-domain deficit variables of Section 3.4 to the
+        right capacity rows.
+        """
+        domains: list[str] = []
+        domains.extend("compute" for _ in self._compute_unit_names)
+        domains.extend("transport" for _ in self._link_keys)
+        domains.extend("radio" for _ in self._base_station_names)
+        return domains
+
+    def selection_block(self) -> _ConstraintBlock:
+        """Path-selection constraints (5), (6) and (13), on x only."""
+        n = self.num_items
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        lower: list[float] = []
+        upper: list[float] = []
+        labels: list[str] = []
+        row = 0
+
+        # (5) + (13): at most one path per (tenant, BS); exactly one for
+        # committed tenants (they must stay admitted).
+        for tenant_index, request in enumerate(self.requests):
+            for bs in self._base_station_names:
+                indices = self._items_by_tenant_bs.get((tenant_index, bs), [])
+                if not indices:
+                    if request.committed:
+                        raise InfeasibleProblemError(
+                            f"committed slice {request.name!r} has no admissible path "
+                            f"from base station {bs!r}"
+                        )
+                    continue
+                for i in indices:
+                    rows.append(row)
+                    cols.append(i)
+                    vals.append(1.0)
+                lower.append(1.0 if request.committed else 0.0)
+                upper.append(1.0)
+                labels.append(f"select:{request.name}:{bs}")
+                row += 1
+
+        # (6): per (tenant, CU), the number of selected paths must be equal at
+        # every base station (chain of equalities over consecutive BSs).
+        for tenant_index, request in enumerate(self.requests):
+            for cu in self._compute_unit_names:
+                per_bs = [
+                    self._items_by_tenant_cu_bs.get((tenant_index, cu, bs), [])
+                    for bs in self._base_station_names
+                ]
+                for first, second, bs_first, bs_second in zip(
+                    per_bs, per_bs[1:], self._base_station_names, self._base_station_names[1:]
+                ):
+                    if not first and not second:
+                        continue
+                    for i in first:
+                        rows.append(row)
+                        cols.append(i)
+                        vals.append(1.0)
+                    for i in second:
+                        rows.append(row)
+                        cols.append(i)
+                        vals.append(-1.0)
+                    lower.append(0.0)
+                    upper.append(0.0)
+                    labels.append(f"same-cu:{request.name}:{cu}:{bs_first}~{bs_second}")
+                    row += 1
+
+        return _ConstraintBlock(
+            a_x=_csr(rows, cols, vals, (row, n)),
+            a_z=_csr([], [], [], (row, n)),
+            a_y=_csr([], [], [], (row, n)),
+            lower=np.asarray(lower, dtype=float),
+            upper=np.asarray(upper, dtype=float),
+            labels=labels,
+        )
+
+    def coupling_block(self) -> _ConstraintBlock:
+        """Coupling constraints (8)-(12) linking x, z and y."""
+        n = self.num_items
+        rows_x: list[int] = []
+        cols_x: list[int] = []
+        vals_x: list[float] = []
+        rows_z: list[int] = []
+        cols_z: list[int] = []
+        vals_z: list[float] = []
+        rows_y: list[int] = []
+        cols_y: list[int] = []
+        vals_y: list[float] = []
+        upper: list[float] = []
+        labels: list[str] = []
+        row = 0
+
+        def add(
+            x_coeff: float | None,
+            z_coeff: float | None,
+            y_coeff: float | None,
+            item_index: int,
+            ub: float,
+            label: str,
+        ) -> None:
+            nonlocal row
+            if x_coeff:
+                rows_x.append(row)
+                cols_x.append(item_index)
+                vals_x.append(x_coeff)
+            if z_coeff:
+                rows_z.append(row)
+                cols_z.append(item_index)
+                vals_z.append(z_coeff)
+            if y_coeff:
+                rows_y.append(row)
+                cols_y.append(item_index)
+                vals_y.append(y_coeff)
+            upper.append(ub)
+            labels.append(label)
+            row += 1
+
+        for item in self.items:
+            i = item.index
+            lam = item.sla_mbps
+            floor = item.lambda_hat_mbps if self.options.overbooking else item.sla_mbps
+            # (8)  z <= Lambda x
+            add(-lam, 1.0, None, i, 0.0, f"z-le-sla:{i}")
+            # (9)  lambda_hat x <= z   (or Lambda x <= z without overbooking)
+            add(floor, -1.0, None, i, 0.0, f"z-ge-floor:{i}")
+            # (10) y <= Lambda x
+            add(-lam, None, 1.0, i, 0.0, f"y-le-slax:{i}")
+            # (11) y <= z
+            add(None, -1.0, 1.0, i, 0.0, f"y-le-z:{i}")
+            # (12) z + Lambda x - y <= Lambda
+            add(lam, 1.0, -1.0, i, lam, f"y-ge-bilinear:{i}")
+
+        num_rows = row
+        return _ConstraintBlock(
+            a_x=_csr(rows_x, cols_x, vals_x, (num_rows, n)),
+            a_z=_csr(rows_z, cols_z, vals_z, (num_rows, n)),
+            a_y=_csr(rows_y, cols_y, vals_y, (num_rows, n)),
+            lower=np.full(num_rows, -np.inf),
+            upper=np.asarray(upper, dtype=float),
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reservation bounds helper
+    # ------------------------------------------------------------------ #
+    def reservation_bounds(self, accepted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bounds on z for a *fixed* admission vector.
+
+        Admitted items must reserve between the forecast and the SLA (or
+        exactly the SLA without overbooking); rejected items reserve nothing.
+        """
+        accepted = np.asarray(accepted, dtype=float)
+        lower = np.zeros(self.num_items)
+        upper = np.zeros(self.num_items)
+        for item in self.items:
+            if accepted[item.index] > 0.5:
+                floor = (
+                    item.lambda_hat_mbps if self.options.overbooking else item.sla_mbps
+                )
+                lower[item.index] = floor
+                upper[item.index] = item.sla_mbps
+        return lower, upper

@@ -1,0 +1,134 @@
+"""The TCP-proxy rate-control middlebox of Section 2.1.3.
+
+The middlebox splits every connection (Split TCP) so that the tenant's
+transmitter never observes the operator's traffic-control actions directly.
+Three regimes exist for the aggregate slice load:
+
+* load <= reservation: packets are forwarded transparently;
+* reservation < load <= SLA: packets are buffered and released at the
+  reserved rate (an *SLA violation* caused by overbooking -- the tenant paid
+  for the SLA rate but gets the reserved rate);
+* load > SLA: the excess beyond the SLA is dropped (the tenant is simply
+  exceeding its contract; no penalty is owed by the operator).
+
+The simulation models rates per monitoring sample rather than per packet;
+buffered traffic that cannot drain within the sample is counted as delayed
+(and, beyond a configurable buffer depth, dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class MiddleboxReport:
+    """Outcome of pushing one monitoring sample through the middlebox."""
+
+    offered_mbps: float
+    forwarded_mbps: float
+    buffered_mbps: float
+    dropped_beyond_sla_mbps: float
+    dropped_overflow_mbps: float
+
+    @property
+    def delivered_mbps(self) -> float:
+        """Traffic delivered to users at line rate during the sample."""
+        return self.forwarded_mbps
+
+    @property
+    def sla_violation_mbps(self) -> float:
+        """Traffic within the SLA that could not be served at the SLA rate."""
+        return self.buffered_mbps + self.dropped_overflow_mbps
+
+    @property
+    def violated(self) -> bool:
+        return self.sla_violation_mbps > 1e-9
+
+    @property
+    def violation_fraction(self) -> float:
+        """Share of the offered (SLA-conformant) traffic that was not forwarded."""
+        conformant = self.offered_mbps - self.dropped_beyond_sla_mbps
+        if conformant <= 0:
+            return 0.0
+        return min(1.0, self.sla_violation_mbps / conformant)
+
+
+@dataclass
+class RateControlMiddlebox:
+    """Per-slice middlebox enforcing the reserved rate transparently.
+
+    Parameters
+    ----------
+    sla_mbps:
+        The slice's contracted bitrate Lambda.
+    reservation_mbps:
+        The bitrate currently reserved by the orchestrator (z <= Lambda under
+        overbooking).  Updated every decision epoch via :meth:`update_reservation`.
+    buffer_capacity_mb:
+        How much SLA-conformant excess traffic can be absorbed (per sample)
+        before the middlebox starts dropping; models the proxy's buffer.
+    """
+
+    slice_name: str
+    sla_mbps: float
+    reservation_mbps: float
+    buffer_capacity_mb: float = 50.0
+    _buffer_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.sla_mbps, "sla_mbps")
+        ensure_non_negative(self.reservation_mbps, "reservation_mbps")
+        ensure_non_negative(self.buffer_capacity_mb, "buffer_capacity_mb")
+
+    @property
+    def buffer_occupancy_mb(self) -> float:
+        return self._buffer_mb
+
+    def update_reservation(self, reservation_mbps: float) -> None:
+        """Apply a new reservation decided by the orchestrator."""
+        self.reservation_mbps = ensure_non_negative(reservation_mbps, "reservation_mbps")
+
+    def process_sample(self, offered_mbps: float, sample_seconds: float = 300.0) -> MiddleboxReport:
+        """Shape one monitoring sample of offered load.
+
+        ``sample_seconds`` is the monitoring period (the paper samples every
+        5 minutes); it converts between rates (Mb/s) and buffered volume (Mb).
+        """
+        ensure_non_negative(offered_mbps, "offered_mbps")
+        ensure_positive(sample_seconds, "sample_seconds")
+
+        dropped_beyond_sla = max(0.0, offered_mbps - self.sla_mbps)
+        conformant = offered_mbps - dropped_beyond_sla
+
+        # The reservation drains both the fresh conformant traffic and any
+        # backlog from previous samples.
+        capacity = self.reservation_mbps
+        backlog_rate = self._buffer_mb / sample_seconds
+        total_to_serve = conformant + backlog_rate
+        forwarded = min(conformant, capacity)
+        leftover_capacity = max(0.0, capacity - forwarded)
+        drained_backlog = min(backlog_rate, leftover_capacity)
+        excess = max(0.0, conformant - forwarded)
+
+        # Buffer the excess, up to the buffer capacity; beyond that, drop.
+        new_backlog_mb = (backlog_rate - drained_backlog + excess) * sample_seconds
+        overflow_mb = max(0.0, new_backlog_mb - self.buffer_capacity_mb)
+        self._buffer_mb = new_backlog_mb - overflow_mb
+        dropped_overflow = overflow_mb / sample_seconds
+
+        buffered = max(0.0, excess - dropped_overflow)
+        del total_to_serve  # kept for readability of the derivation above
+        return MiddleboxReport(
+            offered_mbps=offered_mbps,
+            forwarded_mbps=forwarded,
+            buffered_mbps=buffered,
+            dropped_beyond_sla_mbps=dropped_beyond_sla,
+            dropped_overflow_mbps=dropped_overflow,
+        )
+
+    def reset(self) -> None:
+        """Flush the buffer (used when a slice is torn down or re-deployed)."""
+        self._buffer_mb = 0.0

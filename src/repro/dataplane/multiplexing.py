@@ -1,0 +1,216 @@
+"""Work-conserving statistical multiplexing of admitted slices.
+
+Overbooking is profitable because reserved-but-unused capacity is not wasted:
+the data plane is work-conserving, so a slice whose instantaneous load
+exceeds its reservation is still served as long as the *aggregate* load on
+every resource it traverses fits the physical capacity.  Only when a
+resource saturates does the rate-control middlebox clamp the overbooked
+slices back towards their reservations -- and only those slices: traffic
+within a slice's reservation is always protected (that is the isolation
+guarantee the reservation encodes).
+
+This module computes, for the monitoring samples of one epoch, how much of
+each slice's SLA-conformant traffic could not be served.  That quantity
+drives both the SLA-violation statistics ("% of samples affected", "share of
+traffic dropped") and the penalty charged to the operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solution import TenantAllocation
+from repro.topology.network import NetworkTopology
+
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class ResourceLoadResult:
+    """Unserved traffic per (slice, base station) for one epoch of samples."""
+
+    unserved_mbps: dict[tuple[str, str], np.ndarray]
+    overloaded_resources: tuple[str, ...]
+
+    def total_unserved(self) -> float:
+        return float(sum(arr.sum() for arr in self.unserved_mbps.values()))
+
+
+class SliceMultiplexer:
+    """Shares physical capacity among admitted slices, protecting reservations."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        allocations: dict[str, TenantAllocation],
+    ):
+        self.topology = topology
+        self.allocations = {
+            name: alloc for name, alloc in allocations.items() if alloc.accepted
+        }
+        self._capacities = topology.capacities()
+
+    # ------------------------------------------------------------------ #
+    def unserved_traffic(
+        self, offered_samples_mbps: dict[tuple[str, str], np.ndarray]
+    ) -> ResourceLoadResult:
+        """Compute per-(slice, BS) unserved traffic for one epoch.
+
+        ``offered_samples_mbps`` holds the SLA-conformant offered load samples
+        per (slice name, base station).  The returned arrays have the same
+        shape; entry ``i`` is how much of sample ``i`` could not be served
+        because some resource along the slice's path was saturated.
+        """
+        keys = list(offered_samples_mbps.keys())
+        if not keys:
+            return ResourceLoadResult(unserved_mbps={}, overloaded_resources=())
+        num_samples = len(next(iter(offered_samples_mbps.values())))
+        unserved = {key: np.zeros(num_samples) for key in keys}
+        overloaded: set[str] = set()
+
+        # Pre-compute which (slice, bs) keys load each resource and with what
+        # multiplier (1 for radio/bitrate domains, the overhead for links,
+        # CPUs-per-Mb/s for compute).
+        radio_members = self._radio_members(keys)
+        link_members = self._link_members(keys)
+        compute_members = self._compute_members(keys)
+
+        for sample_index in range(num_samples):
+            loads = {
+                key: float(np.asarray(offered_samples_mbps[key])[sample_index])
+                for key in keys
+            }
+            for resource, capacity, members in self._iter_resources(
+                radio_members, link_members, compute_members
+            ):
+                base_load = sum(
+                    constant for (_key, _mult, constant) in members
+                )
+                demand = base_load + sum(
+                    loads[key] * multiplier for (key, multiplier, _constant) in members
+                )
+                overload = demand - capacity
+                if overload <= _EPSILON:
+                    continue
+                overloaded.add(resource)
+                shortfall = self._attribute_overload(
+                    overload, members, loads, sample_index
+                )
+                for key, unserved_mbps in shortfall.items():
+                    unserved[key][sample_index] = max(
+                        unserved[key][sample_index], unserved_mbps
+                    )
+
+        return ResourceLoadResult(
+            unserved_mbps=unserved, overloaded_resources=tuple(sorted(overloaded))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resource membership tables
+    # ------------------------------------------------------------------ #
+    def _radio_members(self, keys):
+        """Radio domain: per BS, every slice served there loads it 1:1 (Mb/s)."""
+        members: dict[str, list] = {}
+        for name, bs in keys:
+            allocation = self.allocations.get(name)
+            if allocation is None or bs not in allocation.paths:
+                continue
+            members.setdefault(bs, []).append(((name, bs), 1.0, 0.0))
+        capacities = {
+            bs.name: bs.capacity_mbps for bs in self.topology.base_stations
+        }
+        return [
+            (f"radio:{bs}", capacities[bs], member_list)
+            for bs, member_list in members.items()
+        ]
+
+    def _link_members(self, keys):
+        members: dict[tuple[str, str], list] = {}
+        for name, bs in keys:
+            allocation = self.allocations.get(name)
+            if allocation is None or bs not in allocation.paths:
+                continue
+            for link in allocation.paths[bs].links:
+                members.setdefault(link.key, []).append(((name, bs), link.overhead, 0.0))
+        return [
+            (
+                f"transport:{key[0]}--{key[1]}",
+                self._capacities.transport_mbps[key],
+                member_list,
+            )
+            for key, member_list in members.items()
+        ]
+
+    def _compute_members(self, keys):
+        members: dict[str, list] = {}
+        for name, bs in keys:
+            allocation = self.allocations.get(name)
+            if allocation is None or bs not in allocation.paths:
+                continue
+            request = allocation.request
+            members.setdefault(allocation.compute_unit, []).append(
+                ((name, bs), request.compute_cpus_per_mbps, request.compute_baseline_cpus)
+            )
+        return [
+            (f"compute:{cu}", self._capacities.compute_cpus[cu], member_list)
+            for cu, member_list in members.items()
+        ]
+
+    @staticmethod
+    def _iter_resources(*groups):
+        for group in groups:
+            yield from group
+
+    # ------------------------------------------------------------------ #
+    def _attribute_overload(self, overload, members, loads, sample_index):
+        """Split a resource overload among the slices exceeding their reservation.
+
+        The shortfall is expressed in the slice's own traffic units (Mb/s of
+        its conformant demand).  Slices at or below their reservation are
+        protected; if the protected traffic alone exceeds capacity (only
+        possible under the big-M deficit relaxation), the remainder is shared
+        proportionally to demand.
+        """
+        excess: dict[tuple[str, str], float] = {}
+        multipliers: dict[tuple[str, str], float] = {}
+        demands: dict[tuple[str, str], float] = {}
+        for key, multiplier, _constant in members:
+            name, bs = key
+            allocation = self.allocations[name]
+            reservation = allocation.reservations_mbps.get(bs, 0.0)
+            load = loads[key]
+            demands[key] = load
+            multipliers[key] = multiplier
+            excess[key] = max(0.0, load - reservation)
+
+        shortfall: dict[tuple[str, str], float] = {}
+        # Overload measured in resource units; convert slice excess into
+        # resource units via its multiplier.
+        excess_resource_units = {
+            key: excess[key] * max(multipliers[key], _EPSILON) for key in excess
+        }
+        total_excess = sum(excess_resource_units.values())
+        remaining = overload
+        if total_excess > _EPSILON:
+            absorbed = min(remaining, total_excess)
+            for key, excess_units in excess_resource_units.items():
+                share = absorbed * (excess_units / total_excess)
+                shortfall[key] = share / max(multipliers[key], _EPSILON)
+            remaining -= absorbed
+        if remaining > _EPSILON:
+            demand_units = {
+                key: demands[key] * max(multipliers[key], _EPSILON) for key in demands
+            }
+            total_demand = sum(demand_units.values())
+            if total_demand > _EPSILON:
+                for key, units in demand_units.items():
+                    extra = remaining * (units / total_demand)
+                    shortfall[key] = shortfall.get(key, 0.0) + extra / max(
+                        multipliers[key], _EPSILON
+                    )
+        # A slice can never lose more traffic than it offered.
+        return {
+            key: min(value, demands[key]) for key, value in shortfall.items() if value > 0
+        }

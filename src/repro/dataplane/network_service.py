@@ -1,0 +1,157 @@
+"""ETSI-style network services: the per-slice chain of functions of Fig. 1.
+
+Each admitted slice is materialised as a *network service* (NS): a chain of
+physical network functions (slices of base stations and switches), the
+virtual network functions that connect users to the tenant's vertical
+service (EPC components, middleboxes) and the vertical service itself.  The
+orchestrator hands the NS descriptor to the domain controllers, which deploy
+its pieces in their own domain.
+
+The simulation does not execute the functions, but the NS object carries the
+placement (which compute unit hosts the virtual functions), the per-function
+CPU requirements, and the path each base station uses -- which is everything
+the controllers need to account for resources and everything Fig. 8 reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.slices import SliceRequest
+from repro.core.solution import TenantAllocation
+from repro.utils.validation import ensure_non_negative
+
+
+class FunctionKind(str, enum.Enum):
+    """Role of a network function inside the slice's chain."""
+
+    PNF_RADIO = "pnf-radio"          # slice of a base station
+    PNF_TRANSPORT = "pnf-transport"  # slice of a switch / link
+    VNF_CORE = "vnf-core"            # virtual EPC components (GTP gateways, MME...)
+    VNF_MIDDLEBOX = "vnf-middlebox"  # the rate-control TCP proxy
+    VERTICAL_SERVICE = "vertical-service"
+
+
+@dataclass(frozen=True)
+class NetworkFunction:
+    """One element of a slice's network service chain."""
+
+    name: str
+    kind: FunctionKind
+    location: str
+    cpu_cores: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.cpu_cores, "cpu_cores")
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.kind in (
+            FunctionKind.VNF_CORE,
+            FunctionKind.VNF_MIDDLEBOX,
+            FunctionKind.VERTICAL_SERVICE,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkService:
+    """The deployed network service of one admitted slice."""
+
+    slice_name: str
+    compute_unit: str
+    functions: tuple[NetworkFunction, ...]
+    # Per base station: the transport path (as node names) the slice uses.
+    paths_by_base_station: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def total_cpu_cores(self) -> float:
+        return float(sum(f.cpu_cores for f in self.functions))
+
+    @property
+    def virtual_functions(self) -> tuple[NetworkFunction, ...]:
+        return tuple(f for f in self.functions if f.is_virtual)
+
+    @property
+    def physical_functions(self) -> tuple[NetworkFunction, ...]:
+        return tuple(f for f in self.functions if not f.is_virtual)
+
+    def function(self, name: str) -> NetworkFunction:
+        for candidate in self.functions:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"network service {self.slice_name!r} has no function {name!r}")
+
+
+# Fixed split of a slice's CPU budget across its virtual functions.  The
+# vertical service receives the dominant share; the EPC and middlebox VNFs
+# receive small fixed fractions, mirroring the testbed deployment where the
+# OpenEPC and proxy VMs are small compared to the tenant's VMs.
+_VS_SHARE = 0.8
+_EPC_SHARE = 0.15
+_MIDDLEBOX_SHARE = 0.05
+
+
+def build_network_service(
+    request: SliceRequest, allocation: TenantAllocation
+) -> NetworkService:
+    """Materialise the network service of an admitted slice.
+
+    Raises ``ValueError`` for rejected allocations: there is nothing to
+    deploy for a slice that was not admitted.
+    """
+    if not allocation.accepted or allocation.compute_unit is None:
+        raise ValueError(
+            f"cannot build a network service for rejected slice {request.name!r}"
+        )
+    total_cpus = allocation.reserved_cpus
+    functions: list[NetworkFunction] = []
+    for bs_name in sorted(allocation.paths):
+        functions.append(
+            NetworkFunction(
+                name=f"{request.name}:ran:{bs_name}",
+                kind=FunctionKind.PNF_RADIO,
+                location=bs_name,
+            )
+        )
+    for bs_name, path in sorted(allocation.paths.items()):
+        for node in path.nodes[1:-1]:
+            functions.append(
+                NetworkFunction(
+                    name=f"{request.name}:transport:{bs_name}:{node}",
+                    kind=FunctionKind.PNF_TRANSPORT,
+                    location=node,
+                )
+            )
+    functions.append(
+        NetworkFunction(
+            name=f"{request.name}:epc",
+            kind=FunctionKind.VNF_CORE,
+            location=allocation.compute_unit,
+            cpu_cores=total_cpus * _EPC_SHARE,
+        )
+    )
+    functions.append(
+        NetworkFunction(
+            name=f"{request.name}:middlebox",
+            kind=FunctionKind.VNF_MIDDLEBOX,
+            location=allocation.compute_unit,
+            cpu_cores=total_cpus * _MIDDLEBOX_SHARE,
+        )
+    )
+    functions.append(
+        NetworkFunction(
+            name=f"{request.name}:vertical-service",
+            kind=FunctionKind.VERTICAL_SERVICE,
+            location=allocation.compute_unit,
+            cpu_cores=total_cpus * _VS_SHARE,
+        )
+    )
+    return NetworkService(
+        slice_name=request.name,
+        compute_unit=allocation.compute_unit,
+        functions=tuple(functions),
+        paths_by_base_station={
+            bs: path.nodes for bs, path in allocation.paths.items()
+        },
+    )

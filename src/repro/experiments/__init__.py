@@ -1,0 +1,49 @@
+"""Reproduction of every table and figure of the paper's evaluation.
+
+Each module regenerates one artefact (see DESIGN.md for the full index):
+
+* :mod:`repro.experiments.table1_templates` -- Table 1 (slice templates);
+* :mod:`repro.experiments.fig4_topologies` -- Fig. 4 (operator topologies and
+  their path capacity / delay distributions);
+* :mod:`repro.experiments.fig5_homogeneous` -- Fig. 5 (relative revenue gain
+  in homogeneous scenarios);
+* :mod:`repro.experiments.fig6_heterogeneous` -- Fig. 6 (net revenue in
+  heterogeneous scenarios);
+* :mod:`repro.experiments.sla_violations` -- the SLA-violation statistics
+  quoted in Sections 4.3.3-4.3.4;
+* :mod:`repro.experiments.fig8_testbed` -- Fig. 8 (the dynamic testbed
+  experiment);
+* :mod:`repro.experiments.ablations` -- additional ablations (solver runtime
+  and optimality gap, forecaster choice).
+"""
+
+from repro.experiments.table1_templates import table1_rows
+from repro.experiments.fig4_topologies import Fig4Result, run_fig4
+from repro.experiments.fig5_homogeneous import Fig5Point, run_fig5
+from repro.experiments.fig6_heterogeneous import Fig6Point, run_fig6
+from repro.experiments.sla_violations import SlaViolationResult, run_sla_violations
+from repro.experiments.fig8_testbed import Fig8Result, run_fig8
+from repro.experiments.ablations import (
+    SolverAblationRow,
+    run_solver_ablation,
+    ForecasterAblationRow,
+    run_forecaster_ablation,
+)
+
+__all__ = [
+    "table1_rows",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Point",
+    "run_fig5",
+    "Fig6Point",
+    "run_fig6",
+    "SlaViolationResult",
+    "run_sla_violations",
+    "Fig8Result",
+    "run_fig8",
+    "SolverAblationRow",
+    "run_solver_ablation",
+    "ForecasterAblationRow",
+    "run_forecaster_ablation",
+]

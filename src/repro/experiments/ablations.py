@@ -1,0 +1,216 @@
+"""Ablations beyond the paper's figures.
+
+Two design choices of the system deserve quantification on their own:
+
+* **Solver choice** -- the paper motivates KAC by Benders' convergence time
+  ("a few hours" vs "a few seconds").  :func:`run_solver_ablation` solves the
+  same AC-RR instances with the direct MILP, Benders decomposition and KAC
+  and reports runtime, objective value and optimality gap.
+* **Forecaster choice** -- the paper selects multiplicative Holt-Winters over
+  double exponential smoothing because mobile demand is seasonal.
+  :func:`run_forecaster_ablation` replays a seasonal-demand scenario with
+  online forecasting under different forecasters and reports net revenue and
+  SLA-violation footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.controlplane.orchestrator import ForecastingBlock
+from repro.core.benders import BendersSolver
+from repro.core.forecast_inputs import ForecastInput
+from repro.core.kac import KACSolver
+from repro.core.milp_solver import DirectMILPSolver
+from repro.core.problem import ACRRProblem
+from repro.core.slices import EMBB_TEMPLATE, TEMPLATES, make_requests
+from repro.forecasting import (
+    DoubleExponentialForecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+    PeakForecaster,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.runner import make_solver
+from repro.simulation.scenario import homogeneous_scenario
+from repro.topology.operators import romanian_topology
+from repro.topology.paths import compute_path_sets
+from repro.traffic.patterns import DemandSpec
+from repro.utils.rng import derive_seed
+
+
+# --------------------------------------------------------------------- #
+# Solver ablation
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SolverAblationRow:
+    """Runtime/quality of one solver on one instance size."""
+
+    num_tenants: int
+    num_base_stations: int
+    num_items: int
+    solver: str
+    runtime_s: float
+    objective: float
+    optimality_gap_percent: float
+    num_admitted: int
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "num_tenants": self.num_tenants,
+            "num_base_stations": self.num_base_stations,
+            "num_items": self.num_items,
+            "solver": self.solver,
+            "runtime_s": self.runtime_s,
+            "objective": self.objective,
+            "optimality_gap_percent": self.optimality_gap_percent,
+            "num_admitted": self.num_admitted,
+        }
+
+
+def _ablation_problem(
+    num_tenants: int, num_base_stations: int, seed: int | None
+) -> ACRRProblem:
+    topology = romanian_topology(num_base_stations=num_base_stations, seed=seed)
+    path_set = compute_path_sets(topology, k=2)
+    requests = make_requests(
+        TEMPLATES["eMBB"], num_tenants, duration_epochs=24, penalty_factor=1.0
+    )
+    forecasts = {
+        request.name: ForecastInput(lambda_hat_mbps=0.3 * request.sla_mbps, sigma_hat=0.25)
+        for request in requests
+    }
+    return ACRRProblem(topology, path_set, requests, forecasts)
+
+
+def run_solver_ablation(
+    sizes: tuple[tuple[int, int], ...] = ((4, 4), (6, 6), (8, 8)),
+    solvers: tuple[str, ...] = ("optimal", "benders", "kac"),
+    seed: int | None = 11,
+) -> list[SolverAblationRow]:
+    """Compare solver runtime and solution quality across instance sizes.
+
+    ``sizes`` is a sequence of (number of tenants, number of base stations).
+    The optimality gap of each solver is measured against the direct MILP
+    optimum of the same instance.
+    """
+    solver_factories = {
+        "optimal": DirectMILPSolver,
+        "benders": lambda: BendersSolver(max_iterations=150),
+        "kac": KACSolver,
+    }
+    rows: list[SolverAblationRow] = []
+    for num_tenants, num_bs in sizes:
+        problem = _ablation_problem(num_tenants, num_bs, seed)
+        reference = DirectMILPSolver().solve(problem)
+        for solver_name in solvers:
+            decision = solver_factories[solver_name]().solve(problem)
+            if reference.objective_value != 0:
+                gap = (
+                    100.0
+                    * (decision.objective_value - reference.objective_value)
+                    / abs(reference.objective_value)
+                )
+            else:
+                gap = 0.0
+            rows.append(
+                SolverAblationRow(
+                    num_tenants=num_tenants,
+                    num_base_stations=num_bs,
+                    num_items=problem.num_items,
+                    solver=solver_name,
+                    runtime_s=decision.stats.runtime_s,
+                    objective=decision.objective_value,
+                    optimality_gap_percent=max(0.0, gap),
+                    num_admitted=decision.num_accepted,
+                )
+            )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Forecaster ablation
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ForecasterAblationRow:
+    """Revenue and SLA footprint of one forecaster on a seasonal workload."""
+
+    forecaster: str
+    net_revenue: float
+    violation_probability: float
+    mean_drop_fraction: float
+    num_admitted: int
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "forecaster": self.forecaster,
+            "net_revenue": self.net_revenue,
+            "violation_probability": self.violation_probability,
+            "mean_drop_fraction": self.mean_drop_fraction,
+            "num_admitted": self.num_admitted,
+        }
+
+
+def run_forecaster_ablation(
+    forecasters: tuple[str, ...] = ("holt-winters", "double-exponential", "naive", "peak"),
+    num_tenants: int = 6,
+    num_base_stations: int | None = 4,
+    num_days: int = 3,
+    epochs_per_day: int = 12,
+    policy: str = "optimal",
+    seed: int | None = 13,
+) -> list[ForecasterAblationRow]:
+    """Replay a seasonal workload with online forecasting under each forecaster."""
+    factories = {
+        "holt-winters": lambda: HoltWintersForecaster(season_length=epochs_per_day),
+        "double-exponential": DoubleExponentialForecaster,
+        "naive": NaiveForecaster,
+        "peak": PeakForecaster,
+    }
+    num_epochs = num_days * epochs_per_day
+    rows: list[ForecasterAblationRow] = []
+    for name in forecasters:
+        scenario = homogeneous_scenario(
+            operator="romanian",
+            template=EMBB_TEMPLATE,
+            num_tenants=num_tenants,
+            mean_load_fraction=0.3,
+            relative_std=0.2,
+            penalty_factor=1.0,
+            num_epochs=num_epochs,
+            num_base_stations=num_base_stations,
+            seed=derive_seed(seed, name),
+            forecast_mode="online",
+        )
+        # Switch every workload to the seasonal (diurnal) demand so the
+        # forecaster actually has seasonality to exploit.
+        seasonal_workloads = tuple(
+            replace(
+                workload,
+                demand=DemandSpec(
+                    mean_fraction=workload.demand.mean_fraction,
+                    relative_std=workload.demand.relative_std,
+                    seasonal=True,
+                    epochs_per_day=epochs_per_day,
+                ),
+            )
+            for workload in scenario.workloads
+        )
+        scenario = replace(
+            scenario, workloads=seasonal_workloads, epochs_per_day=epochs_per_day
+        )
+        engine = SimulationEngine(scenario, make_solver(policy), policy_name=policy)
+        engine.orchestrator.forecasting = ForecastingBlock(primary=factories[name]())
+        result = engine.run()
+        rows.append(
+            ForecasterAblationRow(
+                forecaster=name,
+                net_revenue=result.net_revenue,
+                violation_probability=result.violation_probability,
+                mean_drop_fraction=result.mean_drop_fraction,
+                num_admitted=result.num_admitted,
+            )
+        )
+    return rows

@@ -1,0 +1,104 @@
+"""Fig. 4: the three operator networks and their path statistics.
+
+The paper characterises the networks through (a)-(c) their structure and
+(d)-(e) the distributions of per-path bottleneck capacity and per-path delay
+over all candidate paths between base stations and the edge compute unit.
+This module regenerates those distributions for the synthetic operator
+topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.network import NetworkTopology
+from repro.topology.operators import OPERATOR_FACTORIES
+from repro.topology.paths import PathSet, compute_path_sets
+from repro.utils.stats import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class OperatorPathStatistics:
+    """Path statistics of one operator network (one curve of Fig. 4(d)-(e))."""
+
+    operator: str
+    num_base_stations: int
+    num_links: int
+    mean_paths_per_pair: float
+    capacity_cdf_gbps: EmpiricalCDF
+    delay_cdf_us: EmpiricalCDF
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "num_base_stations": float(self.num_base_stations),
+            "num_links": float(self.num_links),
+            "mean_paths_per_pair": self.mean_paths_per_pair,
+            "median_capacity_gbps": self.capacity_cdf_gbps.quantile(0.5),
+            "max_capacity_gbps": self.capacity_cdf_gbps.quantile(1.0),
+            "median_delay_us": self.delay_cdf_us.quantile(0.5),
+            "p95_delay_us": self.delay_cdf_us.quantile(0.95),
+        }
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Per-operator path statistics (the full figure)."""
+
+    operators: dict[str, OperatorPathStatistics]
+
+    def rows(self) -> list[dict[str, float | str]]:
+        rows: list[dict[str, float | str]] = []
+        for name, stats in self.operators.items():
+            row: dict[str, float | str] = {"operator": name}
+            row.update(stats.summary())
+            rows.append(row)
+        return rows
+
+
+def path_statistics(
+    operator: str,
+    topology: NetworkTopology,
+    path_set: PathSet | None = None,
+    k_paths: int = 6,
+) -> OperatorPathStatistics:
+    """Compute the Fig. 4(d)-(e) statistics for one topology.
+
+    Only paths towards the edge compute unit are considered, matching the
+    paper (the green dot in Fig. 4(a)-(c) is the edge CU).
+    """
+    paths = path_set or compute_path_sets(topology, k=k_paths)
+    edge_paths = [p for p in paths.all_paths() if p.compute_unit == "edge-cu"]
+    if not edge_paths:
+        raise ValueError(f"topology {topology.name!r} has no path to the edge CU")
+    capacities_gbps = [p.capacity_mbps / 1000.0 for p in edge_paths]
+    delays_us = [p.delay_us for p in edge_paths]
+    pairs = {(p.base_station, p.compute_unit) for p in edge_paths}
+    mean_paths = len(edge_paths) / len(pairs)
+    return OperatorPathStatistics(
+        operator=operator,
+        num_base_stations=len(topology.base_station_names),
+        num_links=len(topology.links),
+        mean_paths_per_pair=mean_paths,
+        capacity_cdf_gbps=EmpiricalCDF.from_samples(capacities_gbps),
+        delay_cdf_us=EmpiricalCDF.from_samples(delays_us),
+    )
+
+
+def run_fig4(
+    num_base_stations: int | None = None,
+    k_paths: int = 6,
+    seed: int | None = None,
+    operators: tuple[str, ...] = ("romanian", "swiss", "italian"),
+) -> Fig4Result:
+    """Regenerate Fig. 4 for the requested operators.
+
+    ``num_base_stations=None`` uses the full-size networks (198/197/200 base
+    stations); the benchmark harness passes a smaller number to keep its
+    runtime reasonable.
+    """
+    results: dict[str, OperatorPathStatistics] = {}
+    for operator in operators:
+        factory = OPERATOR_FACTORIES[operator]
+        topology = factory(num_base_stations=num_base_stations, seed=seed)
+        results[operator] = path_statistics(operator, topology, k_paths=k_paths)
+    return Fig4Result(operators=results)

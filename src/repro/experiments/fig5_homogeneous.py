@@ -1,0 +1,148 @@
+"""Fig. 5: relative revenue gain of overbooking in homogeneous scenarios.
+
+For every operator network, slice type, mean-load factor ``alpha``, demand
+variability ``sigma`` and penalty factor ``m``, the experiment runs the same
+scenario under an overbooking policy (optimal and/or KAC) and under the
+no-overbooking baseline, and reports the relative net-revenue gain -- the
+quantity plotted on the y-axis of Fig. 5.
+
+The paper's full grid (3 operators x 3 slice types x 9 load points x 3
+variability levels x 3 penalties, on 197-1497-cell networks) takes CPLEX
+hours per point; the defaults below use the reduced operator topologies and a
+sub-sampled grid so the whole figure regenerates in minutes, while preserving
+the trends (see EXPERIMENTS.md for the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.slices import TEMPLATES
+from repro.simulation.runner import run_scenario
+from repro.simulation.scenario import homogeneous_scenario
+from repro.utils.stats import relative_gain
+
+#: Reduced-scale defaults used by the benchmark harness.
+DEFAULT_OPERATORS = ("romanian", "swiss", "italian")
+DEFAULT_TEMPLATES = ("eMBB", "mMTC", "uRLLC")
+DEFAULT_ALPHAS = (0.2, 0.5, 0.8)
+DEFAULT_RELATIVE_STDS = (0.0, 0.25)
+DEFAULT_PENALTY_FACTORS = (1.0, 16.0)
+DEFAULT_POLICIES = ("optimal", "kac")
+DEFAULT_NUM_BASE_STATIONS = 8
+DEFAULT_NUM_TENANTS = {"romanian": 10, "swiss": 10, "italian": 20}
+DEFAULT_NUM_EPOCHS = 3
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    """One point of Fig. 5 (one x-value of one curve of one panel)."""
+
+    operator: str
+    slice_type: str
+    alpha: float
+    relative_std: float
+    penalty_factor: float
+    policy: str
+    net_revenue: float
+    baseline_revenue: float
+    gain_percent: float
+    num_admitted: int
+    baseline_admitted: int
+    violation_probability: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "operator": self.operator,
+            "slice_type": self.slice_type,
+            "alpha": self.alpha,
+            "relative_std": self.relative_std,
+            "penalty_factor": self.penalty_factor,
+            "policy": self.policy,
+            "net_revenue": self.net_revenue,
+            "baseline_revenue": self.baseline_revenue,
+            "gain_percent": self.gain_percent,
+            "num_admitted": self.num_admitted,
+            "baseline_admitted": self.baseline_admitted,
+            "violation_probability": self.violation_probability,
+        }
+
+
+def run_fig5(
+    operators: tuple[str, ...] = DEFAULT_OPERATORS,
+    slice_types: tuple[str, ...] = DEFAULT_TEMPLATES,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    relative_stds: tuple[float, ...] = DEFAULT_RELATIVE_STDS,
+    penalty_factors: tuple[float, ...] = DEFAULT_PENALTY_FACTORS,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    num_base_stations: int | None = DEFAULT_NUM_BASE_STATIONS,
+    num_tenants: dict[str, int] | None = None,
+    num_epochs: int = DEFAULT_NUM_EPOCHS,
+    seed: int | None = 1,
+) -> list[Fig5Point]:
+    """Regenerate (a sub-sampled version of) Fig. 5.
+
+    Returns one :class:`Fig5Point` per (operator, slice type, alpha, sigma,
+    penalty, policy) combination.
+    """
+    tenants_by_operator = dict(DEFAULT_NUM_TENANTS)
+    if num_tenants:
+        tenants_by_operator.update(num_tenants)
+
+    points: list[Fig5Point] = []
+    for operator in operators:
+        tenants = tenants_by_operator.get(operator, 10)
+        for slice_type in slice_types:
+            template = TEMPLATES[slice_type]
+            for alpha in alphas:
+                for relative_std in relative_stds:
+                    for penalty in penalty_factors:
+                        scenario = homogeneous_scenario(
+                            operator=operator,
+                            template=template,
+                            num_tenants=tenants,
+                            mean_load_fraction=alpha,
+                            relative_std=relative_std,
+                            penalty_factor=penalty,
+                            num_epochs=num_epochs,
+                            num_base_stations=num_base_stations,
+                            seed=seed,
+                        )
+                        baseline = run_scenario(scenario, policy="no-overbooking")
+                        for policy in policies:
+                            result = run_scenario(scenario, policy=policy)
+                            points.append(
+                                Fig5Point(
+                                    operator=operator,
+                                    slice_type=slice_type,
+                                    alpha=alpha,
+                                    relative_std=relative_std,
+                                    penalty_factor=penalty,
+                                    policy=policy,
+                                    net_revenue=result.net_revenue,
+                                    baseline_revenue=baseline.net_revenue,
+                                    gain_percent=relative_gain(
+                                        result.net_revenue, baseline.net_revenue
+                                    ),
+                                    num_admitted=result.num_admitted,
+                                    baseline_admitted=baseline.num_admitted,
+                                    violation_probability=result.violation_probability,
+                                )
+                            )
+    return points
+
+
+def format_fig5(points: list[Fig5Point]) -> str:
+    """Plain-text rendering of the Fig. 5 data series."""
+    header = (
+        f"{'operator':<10} {'type':<6} {'alpha':>5} {'std':>5} {'m':>4} {'policy':<8} "
+        f"{'revenue':>9} {'baseline':>9} {'gain%':>8} {'viol.prob':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.operator:<10} {p.slice_type:<6} {p.alpha:>5.2f} {p.relative_std:>5.2f} "
+            f"{p.penalty_factor:>4.0f} {p.policy:<8} {p.net_revenue:>9.2f} "
+            f"{p.baseline_revenue:>9.2f} {p.gain_percent:>8.1f} {p.violation_probability:>10.6f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Fig. 6: net revenue in heterogeneous (mixed slice type) scenarios.
+
+The paper mixes pairs of slice types -- eMBB+mMTC, eMBB+uRLLC and mMTC+uRLLC
+-- and sweeps the share ``beta`` of the second type while keeping the mean
+load at ``0.2 * Lambda``.  The reported metric is the *absolute* net revenue
+(monetary units) of the overbooking policies next to the no-overbooking
+baseline (the black curve in the figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.slices import TEMPLATES
+from repro.simulation.runner import run_scenario
+from repro.simulation.scenario import heterogeneous_scenario
+
+#: The three panel columns of Fig. 6.
+DEFAULT_MIXES = (("eMBB", "mMTC"), ("eMBB", "uRLLC"), ("mMTC", "uRLLC"))
+DEFAULT_BETAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+DEFAULT_OPERATORS = ("romanian", "swiss", "italian")
+DEFAULT_POLICIES = ("optimal", "kac")
+DEFAULT_NUM_BASE_STATIONS = 8
+DEFAULT_NUM_TENANTS = {"romanian": 10, "swiss": 10, "italian": 20}
+DEFAULT_NUM_EPOCHS = 3
+DEFAULT_MEAN_LOAD_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One point of Fig. 6: one beta value of one mix on one operator."""
+
+    operator: str
+    mix: tuple[str, str]
+    beta: float
+    relative_std: float
+    penalty_factor: float
+    policy: str
+    net_revenue: float
+    num_admitted: int
+    violation_probability: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "operator": self.operator,
+            "mix": f"{self.mix[0]}+{self.mix[1]}",
+            "beta": self.beta,
+            "relative_std": self.relative_std,
+            "penalty_factor": self.penalty_factor,
+            "policy": self.policy,
+            "net_revenue": self.net_revenue,
+            "num_admitted": self.num_admitted,
+            "violation_probability": self.violation_probability,
+        }
+
+
+def run_fig6(
+    operators: tuple[str, ...] = DEFAULT_OPERATORS,
+    mixes: tuple[tuple[str, str], ...] = DEFAULT_MIXES,
+    betas: tuple[float, ...] = DEFAULT_BETAS,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    relative_std: float = 0.25,
+    penalty_factor: float = 1.0,
+    mean_load_fraction: float = DEFAULT_MEAN_LOAD_FRACTION,
+    num_base_stations: int | None = DEFAULT_NUM_BASE_STATIONS,
+    num_tenants: dict[str, int] | None = None,
+    num_epochs: int = DEFAULT_NUM_EPOCHS,
+    seed: int | None = 1,
+    include_baseline: bool = True,
+) -> list[Fig6Point]:
+    """Regenerate (a sub-sampled version of) Fig. 6.
+
+    The no-overbooking baseline is included as its own policy row (the black
+    curve of the figure) when ``include_baseline`` is set.
+    """
+    tenants_by_operator = dict(DEFAULT_NUM_TENANTS)
+    if num_tenants:
+        tenants_by_operator.update(num_tenants)
+    all_policies = tuple(policies) + (("no-overbooking",) if include_baseline else ())
+
+    points: list[Fig6Point] = []
+    for operator in operators:
+        tenants = tenants_by_operator.get(operator, 10)
+        for mix in mixes:
+            template_a, template_b = TEMPLATES[mix[0]], TEMPLATES[mix[1]]
+            for beta in betas:
+                scenario = heterogeneous_scenario(
+                    operator=operator,
+                    template_a=template_a,
+                    template_b=template_b,
+                    num_tenants=tenants,
+                    fraction_b=beta,
+                    mean_load_fraction=mean_load_fraction,
+                    relative_std=relative_std,
+                    penalty_factor=penalty_factor,
+                    num_epochs=num_epochs,
+                    num_base_stations=num_base_stations,
+                    seed=seed,
+                )
+                for policy in all_policies:
+                    result = run_scenario(scenario, policy=policy)
+                    points.append(
+                        Fig6Point(
+                            operator=operator,
+                            mix=mix,
+                            beta=beta,
+                            relative_std=relative_std,
+                            penalty_factor=penalty_factor,
+                            policy=policy,
+                            net_revenue=result.net_revenue,
+                            num_admitted=result.num_admitted,
+                            violation_probability=result.violation_probability,
+                        )
+                    )
+    return points
+
+
+def format_fig6(points: list[Fig6Point]) -> str:
+    """Plain-text rendering of the Fig. 6 data series."""
+    header = (
+        f"{'operator':<10} {'mix':<12} {'beta':>5} {'policy':<14} "
+        f"{'revenue':>9} {'admitted':>9} {'viol.prob':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.operator:<10} {p.mix[0] + '+' + p.mix[1]:<12} {p.beta:>5.2f} {p.policy:<14} "
+            f"{p.net_revenue:>9.2f} {p.num_admitted:>9d} {p.violation_probability:>10.6f}"
+        )
+    return "\n".join(lines)

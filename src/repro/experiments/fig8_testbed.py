@@ -1,0 +1,106 @@
+"""Fig. 8: the dynamic proof-of-concept experiment of Section 5.
+
+Nine heterogeneous slice requests arrive over a day on the small testbed
+(two base stations, one switch, an edge and a core compute unit); the
+experiment compares the overbooking orchestrator against the no-overbooking
+baseline and records, per epoch:
+
+* the accumulated net revenue (Fig. 8(a)),
+* the per-slice radio reservation vs. utilisation at both BSs (Fig. 8(b)),
+* the same for the two CU-facing transport links (Fig. 8(c)),
+* the same for the CPU pools of the edge and core CUs (Fig. 8(d)).
+
+The paper's hardware inventory (Table 2) cannot be reproduced in software;
+``TESTBED_CONFIG`` documents how each component is substituted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.engine import SimulationResult
+from repro.simulation.runner import run_scenario
+from repro.simulation.scenario import testbed_scenario
+
+#: Substitution map for Table 2 (see DESIGN.md).
+TESTBED_CONFIG = {
+    "vEPC (OpenEPC Rel. 7, one per slice)": "VNF entry in the slice's simulated network service",
+    "UEs (Samsung Galaxy S7, one per slice and BS)": "aggregate per-BS demand stream per slice",
+    "Transport (48-port OpenFlow 1.5 switch)": "simulated switch with 1 Gb/s links",
+    "RAN (2x NEC 20 MHz small cells with RAN sharing)": "two simulated 20 MHz base stations with PRB-share enforcement",
+    "CU (OpenStack Queens, 16 edge / 64 core CPUs)": "edge CU (16 CPUs) and core CU (64 CPUs, +30 ms) in the simulated compute domain",
+}
+
+#: The experiment starts at 06:00 and uses one-hour epochs.
+START_HOUR = 6
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Per-policy simulation results plus convenience accessors."""
+
+    results: dict[str, SimulationResult]
+
+    def policies(self) -> list[str]:
+        return list(self.results)
+
+    # -- Fig. 8(a): net revenue over time ------------------------------- #
+    def cumulative_revenue(self, policy: str) -> np.ndarray:
+        return np.cumsum(self.results[policy].per_epoch_net_revenue)
+
+    def revenue_timeline(self, policy: str) -> list[tuple[str, float]]:
+        """(hour-of-day label, cumulative net revenue) pairs."""
+        cumulative = self.cumulative_revenue(policy)
+        return [
+            (f"{(START_HOUR + epoch) % 24:02d}:00", float(value))
+            for epoch, value in enumerate(cumulative)
+        ]
+
+    # -- admission outcomes --------------------------------------------- #
+    def admitted(self, policy: str) -> tuple[str, ...]:
+        return self.results[policy].final_admitted
+
+    def rejected(self, policy: str) -> tuple[str, ...]:
+        return self.results[policy].final_rejected
+
+    # -- Fig. 8(b)-(d): per-domain reservation vs utilisation ------------ #
+    def domain_timeline(
+        self, policy: str, domain: str
+    ) -> dict[str, list[tuple[str, float, float]]]:
+        """Per resource: (hour label, reserved, used) triples over time.
+
+        ``domain`` is one of ``radio``, ``transport`` or ``compute``.
+        """
+        if domain not in ("radio", "transport", "compute"):
+            raise ValueError("domain must be 'radio', 'transport' or 'compute'")
+        result = self.results[policy]
+        timeline: dict[str, list[tuple[str, float, float]]] = {}
+        for record in result.epoch_records:
+            usage_map = {
+                "radio": record.radio_usage,
+                "transport": record.transport_usage,
+                "compute": record.compute_usage,
+            }[domain]
+            hour = f"{(START_HOUR + record.epoch) % 24:02d}:00"
+            for key, usage in usage_map.items():
+                label = key if isinstance(key, str) else f"{key[0]}--{key[1]}"
+                timeline.setdefault(label, []).append((hour, usage.reserved, usage.used))
+        return timeline
+
+    def final_revenue(self, policy: str) -> float:
+        return self.results[policy].net_revenue
+
+
+def run_fig8(
+    policies: tuple[str, ...] = ("optimal", "no-overbooking"),
+    num_epochs: int = 18,
+    seed: int | None = 3,
+) -> Fig8Result:
+    """Run the testbed experiment under each policy and collect the results."""
+    results: dict[str, SimulationResult] = {}
+    for policy in policies:
+        scenario = testbed_scenario(num_epochs=num_epochs, seed=seed)
+        results[policy] = run_scenario(scenario, policy=policy)
+    return Fig8Result(results=results)

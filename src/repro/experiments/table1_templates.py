@@ -1,0 +1,47 @@
+"""Table 1: the end-to-end network slice templates."""
+
+from __future__ import annotations
+
+from repro.core.slices import SliceTemplate, TEMPLATES
+
+
+def table1_rows(templates: dict[str, SliceTemplate] | None = None) -> list[dict[str, float | str]]:
+    """Regenerate the rows of Table 1 from the template definitions.
+
+    Returns one dictionary per slice type with the columns of the paper's
+    table: reward ``R``, latency tolerance ``Delta``, SLA bitrate ``Lambda``,
+    whether the demand variability ``sigma`` is a free parameter, and the
+    service compute model ``s = {a, b}``.
+    """
+    templates = templates or TEMPLATES
+    rows: list[dict[str, float | str]] = []
+    for name, template in templates.items():
+        rows.append(
+            {
+                "slice_type": name,
+                "reward": template.reward,
+                "latency_tolerance_ms": template.latency_tolerance_ms,
+                "sla_mbps": template.sla_mbps,
+                "sigma": "variable" if template.default_relative_std > 0 else "0",
+                "compute_baseline_cpus": template.compute_baseline_cpus,
+                "compute_cpus_per_mbps": template.compute_cpus_per_mbps,
+            }
+        )
+    return rows
+
+
+def format_table1(rows: list[dict[str, float | str]] | None = None) -> str:
+    """Human-readable rendering of Table 1 (used by the examples and benches)."""
+    rows = rows if rows is not None else table1_rows()
+    header = (
+        f"{'type':<8} {'R':>6} {'delta(ms)':>10} {'lambda(Mb/s)':>13} "
+        f"{'sigma':>9} {'a(CPU)':>7} {'b(CPU/Mbps)':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['slice_type']:<8} {row['reward']:>6.1f} {row['latency_tolerance_ms']:>10.0f} "
+            f"{row['sla_mbps']:>13.0f} {str(row['sigma']):>9} "
+            f"{row['compute_baseline_cpus']:>7.1f} {row['compute_cpus_per_mbps']:>12.1f}"
+        )
+    return "\n".join(lines)

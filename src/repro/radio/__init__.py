@@ -1,0 +1,20 @@
+"""Radio-domain models: spectrum, physical resource blocks and RAN sharing."""
+
+from repro.radio.spectral import (
+    RadioModel,
+    IDEAL_RADIO_MODEL,
+    prbs_per_mhz,
+    bitrate_to_mhz,
+    mhz_to_bitrate,
+)
+from repro.radio.ran_sharing import RanSlicingEnforcer, RadioShare
+
+__all__ = [
+    "RadioModel",
+    "IDEAL_RADIO_MODEL",
+    "prbs_per_mhz",
+    "bitrate_to_mhz",
+    "mhz_to_bitrate",
+    "RanSlicingEnforcer",
+    "RadioShare",
+]

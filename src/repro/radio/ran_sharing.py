@@ -1,0 +1,107 @@
+"""RAN slicing enforcement: allocating PRB shares of a base station to slices.
+
+The paper's testbed uses commercial base stations whose proprietary interface
+grants shares of physical resource blocks (PRBs) to different mobile networks
+(one PLMN-id per slice).  This module reproduces that behaviour for the
+simulated data plane: the RAN controller converts the orchestrator's bitrate
+reservations into PRB shares, and the enforcer verifies they fit into the
+carrier and computes the per-slice radio utilisation shown in Fig. 8(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.radio.spectral import PRBS_PER_MHZ, RadioModel, IDEAL_RADIO_MODEL
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class RadioShare:
+    """A PRB share granted to one slice on one base station."""
+
+    slice_name: str
+    base_station: str
+    prbs: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.prbs, "prbs")
+
+
+@dataclass
+class RanSlicingEnforcer:
+    """Tracks per-slice PRB shares of one base station and enforces capacity.
+
+    Mirrors the base-station-local behaviour: the sum of the granted shares
+    can never exceed the carrier size, and traffic beyond a slice's share is
+    reported as radio-limited (it will be shaped by the middlebox upstream).
+    """
+
+    base_station: str
+    capacity_mhz: float
+    radio_model: RadioModel = IDEAL_RADIO_MODEL
+    _shares: dict[str, RadioShare] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.capacity_mhz, "capacity_mhz")
+
+    @property
+    def capacity_prbs(self) -> float:
+        return self.capacity_mhz * PRBS_PER_MHZ
+
+    @property
+    def allocated_prbs(self) -> float:
+        return sum(share.prbs for share in self._shares.values())
+
+    @property
+    def free_prbs(self) -> float:
+        return self.capacity_prbs - self.allocated_prbs
+
+    def shares(self) -> dict[str, RadioShare]:
+        return dict(self._shares)
+
+    def grant_bitrate(self, slice_name: str, mbps: float) -> RadioShare:
+        """Grant (or update) a slice's share sized for ``mbps`` of traffic.
+
+        Raises ``ValueError`` when the requested share does not fit in the
+        remaining carrier capacity; the orchestrator's admission control is
+        responsible for never issuing such a grant.
+        """
+        ensure_non_negative(mbps, "mbps")
+        prbs = self.radio_model.bitrate_to_prbs(mbps)
+        currently = self._shares.get(slice_name)
+        available = self.free_prbs + (currently.prbs if currently else 0.0)
+        if prbs > available + 1e-9:
+            raise ValueError(
+                f"cannot grant {prbs:.1f} PRBs to {slice_name!r} on "
+                f"{self.base_station!r}: only {available:.1f} PRBs available"
+            )
+        share = RadioShare(slice_name=slice_name, base_station=self.base_station, prbs=prbs)
+        self._shares[slice_name] = share
+        return share
+
+    def revoke(self, slice_name: str) -> None:
+        """Release the share of a departed slice (no-op if it has none)."""
+        self._shares.pop(slice_name, None)
+
+    def served_bitrate(self, slice_name: str, offered_mbps: float) -> float:
+        """Traffic actually carried over the air for a slice.
+
+        The air interface cannot exceed the granted share, so the served
+        traffic is the offered load clipped to the share's bitrate.
+        """
+        ensure_non_negative(offered_mbps, "offered_mbps")
+        share = self._shares.get(slice_name)
+        if share is None:
+            return 0.0
+        share_mbps = self.radio_model.mhz_to_bitrate(share.prbs / PRBS_PER_MHZ)
+        return min(offered_mbps, share_mbps)
+
+    def utilisation(self, offered_mbps: dict[str, float]) -> dict[str, float]:
+        """Per-slice PRB usage given each slice's offered load (Fig. 8(b))."""
+        usage: dict[str, float] = {}
+        for slice_name, share in self._shares.items():
+            offered = offered_mbps.get(slice_name, 0.0)
+            served = self.served_bitrate(slice_name, offered)
+            usage[slice_name] = self.radio_model.bitrate_to_prbs(served)
+        return usage

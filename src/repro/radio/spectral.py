@@ -1,0 +1,84 @@
+"""Spectrum / bitrate conversion (the eta_{tau,b} factors of the paper).
+
+The orchestration problem reserves *bitrate* ``z`` for each slice, but the
+radio constraint (4) is expressed in spectrum: ``eta_{tau,b}`` maps the
+bitrate carried for tenant ``tau`` at base station ``b`` into MHz of radio
+spectrum (equivalently, physical resource blocks).  The paper assumes ideal
+channel conditions with 2x2 MIMO where a 20 MHz carrier yields 150 Mb/s,
+i.e. ``eta = 20/150`` MHz per Mb/s; this module also provides a configurable
+model so degraded channel qualities can be explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+#: LTE numerology: a 20 MHz carrier contains 100 physical resource blocks.
+PRBS_PER_MHZ = 5.0
+
+
+def prbs_per_mhz() -> float:
+    """Physical resource blocks contained in one MHz of LTE spectrum."""
+    return PRBS_PER_MHZ
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Maps bitrate to spectrum for a given average channel quality.
+
+    ``peak_spectral_efficiency`` is the throughput per MHz under ideal
+    conditions; ``channel_quality`` in (0, 1] scales it down to model the
+    average signal quality observed by the monitoring system (Section 2.2.2
+    notes that eta depends mostly on the average signal quality between the
+    users and the BS).
+    """
+
+    peak_spectral_efficiency_mbps_per_mhz: float = 7.5
+    channel_quality: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(
+            self.peak_spectral_efficiency_mbps_per_mhz,
+            "peak_spectral_efficiency_mbps_per_mhz",
+        )
+        ensure_in_range(self.channel_quality, 1e-6, 1.0, "channel_quality")
+
+    @property
+    def effective_efficiency(self) -> float:
+        """Achievable Mb/s per MHz at the current channel quality."""
+        return self.peak_spectral_efficiency_mbps_per_mhz * self.channel_quality
+
+    def eta_mhz_per_mbps(self) -> float:
+        """The eta factor: MHz of spectrum needed per Mb/s of service load."""
+        return 1.0 / self.effective_efficiency
+
+    def bitrate_to_mhz(self, mbps: float) -> float:
+        """Spectrum (MHz) required to serve ``mbps`` of traffic."""
+        ensure_non_negative(mbps, "mbps")
+        return mbps * self.eta_mhz_per_mbps()
+
+    def bitrate_to_prbs(self, mbps: float) -> float:
+        """Physical resource blocks required to serve ``mbps`` of traffic."""
+        return self.bitrate_to_mhz(mbps) * PRBS_PER_MHZ
+
+    def mhz_to_bitrate(self, mhz: float) -> float:
+        """Traffic (Mb/s) that ``mhz`` of spectrum can carry."""
+        ensure_non_negative(mhz, "mhz")
+        return mhz * self.effective_efficiency
+
+
+#: The ideal-conditions model used throughout the paper's simulations
+#: (20 MHz -> 150 Mb/s, i.e. eta_b = 20/150).
+IDEAL_RADIO_MODEL = RadioModel()
+
+
+def bitrate_to_mhz(mbps: float, model: RadioModel = IDEAL_RADIO_MODEL) -> float:
+    """Module-level convenience wrapper around :meth:`RadioModel.bitrate_to_mhz`."""
+    return model.bitrate_to_mhz(mbps)
+
+
+def mhz_to_bitrate(mhz: float, model: RadioModel = IDEAL_RADIO_MODEL) -> float:
+    """Module-level convenience wrapper around :meth:`RadioModel.mhz_to_bitrate`."""
+    return model.mhz_to_bitrate(mhz)

@@ -1,0 +1,38 @@
+"""Decision-epoch simulation engine used to reproduce the paper's evaluation.
+
+A :class:`~repro.simulation.scenario.Scenario` bundles a topology, a set of
+slice workloads (request + demand behaviour) and the simulation knobs; the
+:class:`~repro.simulation.engine.SimulationEngine` drives the end-to-end
+orchestrator epoch by epoch, pushes the tenants' traffic through the
+(simulated) data plane, and the
+:class:`~repro.simulation.revenue.RevenueAccountant` turns the outcome into
+the net-revenue and SLA-violation metrics the paper reports.
+"""
+
+from repro.simulation.revenue import RevenueAccountant, RevenueReport, EpochRevenue
+from repro.simulation.scenario import (
+    Scenario,
+    SliceWorkload,
+    homogeneous_scenario,
+    heterogeneous_scenario,
+    testbed_scenario,
+)
+from repro.simulation.engine import SimulationEngine, SimulationResult, EpochRecord
+from repro.simulation.runner import run_scenario, compare_policies, make_solver
+
+__all__ = [
+    "RevenueAccountant",
+    "RevenueReport",
+    "EpochRevenue",
+    "Scenario",
+    "SliceWorkload",
+    "homogeneous_scenario",
+    "heterogeneous_scenario",
+    "testbed_scenario",
+    "SimulationEngine",
+    "SimulationResult",
+    "EpochRecord",
+    "run_scenario",
+    "compare_policies",
+    "make_solver",
+]

@@ -1,0 +1,57 @@
+"""Convenience helpers for running scenarios and comparing policies."""
+
+from __future__ import annotations
+
+from repro.core.baseline import NoOverbookingSolver
+from repro.core.benders import BendersSolver
+from repro.core.kac import KACSolver
+from repro.core.milp_solver import DirectMILPSolver
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.scenario import Scenario
+
+#: Orchestration policies available to the experiments and benchmarks.
+#:
+#: ``optimal`` uses the direct HiGHS MILP, which returns the same decisions as
+#: the Benders method (both are exact) but considerably faster on the
+#: evaluation instances; the Benders implementation is exercised explicitly by
+#: the ``benders`` policy and by the solver ablation benchmark.
+POLICIES = ("optimal", "benders", "kac", "no-overbooking")
+
+
+def make_solver(policy: str):
+    """Instantiate the solver behind a named orchestration policy."""
+    if policy == "optimal":
+        return DirectMILPSolver()
+    if policy == "benders":
+        return BendersSolver()
+    if policy == "kac":
+        return KACSolver()
+    if policy == "no-overbooking":
+        return NoOverbookingSolver()
+    raise KeyError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+
+
+def run_scenario(
+    scenario: Scenario,
+    policy: str = "optimal",
+    stop_on_converged_revenue: bool = False,
+) -> SimulationResult:
+    """Run one scenario under one policy and return the simulation result."""
+    engine = SimulationEngine(scenario, make_solver(policy), policy_name=policy)
+    return engine.run(stop_on_converged_revenue=stop_on_converged_revenue)
+
+
+def compare_policies(
+    scenario: Scenario, policies: tuple[str, ...] = ("optimal", "no-overbooking")
+) -> dict[str, SimulationResult]:
+    """Run the same scenario under several policies (fresh engine per policy)."""
+    return {policy: run_scenario(scenario, policy) for policy in policies}
+
+
+def relative_revenue_gain(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Percentage net-revenue gain of a policy over a baseline (Fig. 5 y-axis)."""
+    from repro.utils.stats import relative_gain
+
+    return relative_gain(result.net_revenue, baseline.net_revenue)

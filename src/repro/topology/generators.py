@@ -1,0 +1,324 @@
+"""Synthetic operator-topology generator.
+
+The paper evaluates its orchestration algorithms on confidential urban
+networks from three European operators (Romania, Switzerland, Italy).  We
+cannot redistribute those graphs, so this module generates synthetic
+topologies calibrated to the aggregate statistics the paper reports in
+Section 4.3.1 and Fig. 4:
+
+* number of base stations (198 / 197 / 200 clusters),
+* path redundancy (mean 6.6 candidate paths per BS-CU pair in the Romanian
+  network vs. 1.6 in the Italian one),
+* link technology mixes (fiber+copper+wireless / mostly wireless / mostly
+  fiber) and the resulting 2-200 Gb/s capacity spread,
+* base-station-to-edge-cloud distances from 0.1 to 20 km,
+* an edge compute unit with ``20 x B`` CPU cores and a core compute unit
+  five times larger, reachable over an uncongested 20 ms backhaul.
+
+The generated networks therefore exercise exactly the heterogeneity that the
+paper's evaluation attributes its results to (radio-constrained vs.
+transport-constrained vs. compute-constrained regimes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.elements import (
+    BaseStation,
+    ComputeUnit,
+    ComputeUnitKind,
+    LinkTechnology,
+    TransportLink,
+    TransportSwitch,
+)
+from repro.topology.network import NetworkTopology
+from repro.utils.rng import make_rng
+
+# Capacity used for the "unlimited bandwidth" edge-to-core backhaul of the
+# paper; large enough never to bind for any workload in the evaluation.
+UNLIMITED_CAPACITY_MBPS = 1.0e7
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Statistical description of one operator's urban network.
+
+    The three concrete profiles used in the paper live in
+    :mod:`repro.topology.operators`; this dataclass keeps the generator
+    reusable for sensitivity studies (e.g. sweeping path redundancy).
+    """
+
+    name: str
+    num_base_stations: int
+    num_aggregation_switches: int
+    num_hubs: int
+    # Candidate numbers of aggregation switches each BS attaches to, and the
+    # probability of each choice.  Higher degrees yield more path diversity.
+    bs_degree_choices: tuple[int, ...]
+    bs_degree_weights: tuple[float, ...]
+    # Radio capacity of each BS, drawn uniformly from this range (MHz).
+    bs_capacity_mhz_range: tuple[float, float]
+    # Radius of the served urban area (km); BS-CU distances span (0, radius].
+    city_radius_km: float
+    # Access-link technology mix: (technology, probability) pairs.
+    access_technology_mix: tuple[tuple[LinkTechnology, float], ...]
+    # Capacity range (Mb/s) of access links, per technology.
+    access_capacity_mbps: dict[LinkTechnology, tuple[float, float]]
+    # Aggregation-ring and hub uplink characteristics.
+    aggregation_capacity_mbps: tuple[float, float]
+    aggregation_technology: LinkTechnology
+    hub_capacity_mbps: tuple[float, float]
+    hub_technology: LinkTechnology
+    # Whether aggregation switches are chained into a ring.  A ring adds
+    # alternative (protection) paths and therefore path redundancy; tree-like
+    # metro networks (the Italian operator, mean 1.6 candidate paths) do not
+    # have it.
+    aggregation_ring: bool = True
+    # Compute dimensioning (Section 4.3.1): edge CU has 20 CPUs per BS, the
+    # core CU is ``core_capacity_factor`` times larger and 20 ms away.
+    edge_cpus_per_bs: float = 20.0
+    core_capacity_factor: float = 5.0
+    core_latency_ms: float = 20.0
+    # Spectral efficiency (Mb/s per MHz); 7.5 reproduces eta_b = 20/150.
+    spectral_efficiency_mbps_per_mhz: float = 7.5
+    # Transport protocol overhead eta_e (the paper neglects it, i.e. 1.0).
+    transport_overhead: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_base_stations <= 0:
+            raise ValueError("num_base_stations must be positive")
+        if self.num_aggregation_switches <= 0:
+            raise ValueError("num_aggregation_switches must be positive")
+        if self.num_hubs <= 0:
+            raise ValueError("num_hubs must be positive")
+        if len(self.bs_degree_choices) != len(self.bs_degree_weights):
+            raise ValueError("degree choices and weights must have equal length")
+        if not math.isclose(sum(self.bs_degree_weights), 1.0, abs_tol=1e-6):
+            raise ValueError("bs_degree_weights must sum to 1")
+        total_prob = sum(prob for _tech, prob in self.access_technology_mix)
+        if not math.isclose(total_prob, 1.0, abs_tol=1e-6):
+            raise ValueError("access_technology_mix probabilities must sum to 1")
+
+    def scaled(self, num_base_stations: int, name_suffix: str = "-reduced") -> "OperatorProfile":
+        """Return a profile with fewer base stations but the same structure.
+
+        The aggregation layer is shrunk proportionally (at least two switches
+        are kept so some path diversity remains) and the aggregation/hub link
+        capacities are rescaled so that the ratio between the traffic funnelled
+        through each aggregation switch and its uplink capacity is preserved.
+        This keeps the radio-constrained / transport-constrained /
+        compute-constrained regimes of the full-size networks intact, which is
+        what drives the paper's qualitative results.  Used by the benchmark
+        harness, where running the exact 198-BS networks through a MILP per
+        epoch would take hours.
+        """
+        if num_base_stations <= 0:
+            raise ValueError("num_base_stations must be positive")
+        ratio = num_base_stations / self.num_base_stations
+        aggregation = max(2, int(round(self.num_aggregation_switches * ratio)))
+        # Preserve (BSs per aggregation switch) / (uplink capacity): the
+        # shrunken network funnels fewer BSs through each switch, so the
+        # uplink capacity shrinks by the same factor.
+        bs_per_agg_original = self.num_base_stations / self.num_aggregation_switches
+        bs_per_agg_scaled = num_base_stations / aggregation
+        capacity_scale = bs_per_agg_scaled / bs_per_agg_original
+        return OperatorProfile(
+            name=self.name + name_suffix,
+            num_base_stations=num_base_stations,
+            num_aggregation_switches=aggregation,
+            num_hubs=self.num_hubs,
+            bs_degree_choices=self.bs_degree_choices,
+            bs_degree_weights=self.bs_degree_weights,
+            bs_capacity_mhz_range=self.bs_capacity_mhz_range,
+            city_radius_km=self.city_radius_km,
+            access_technology_mix=self.access_technology_mix,
+            access_capacity_mbps=dict(self.access_capacity_mbps),
+            aggregation_capacity_mbps=tuple(
+                cap * capacity_scale for cap in self.aggregation_capacity_mbps
+            ),
+            aggregation_technology=self.aggregation_technology,
+            hub_capacity_mbps=tuple(
+                cap * capacity_scale for cap in self.hub_capacity_mbps
+            ),
+            hub_technology=self.hub_technology,
+            aggregation_ring=self.aggregation_ring,
+            edge_cpus_per_bs=self.edge_cpus_per_bs,
+            core_capacity_factor=self.core_capacity_factor,
+            core_latency_ms=self.core_latency_ms,
+            spectral_efficiency_mbps_per_mhz=self.spectral_efficiency_mbps_per_mhz,
+            transport_overhead=self.transport_overhead,
+        )
+
+
+def _uniform(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    low, high = bounds
+    if high < low:
+        raise ValueError(f"invalid range {bounds}")
+    if math.isclose(low, high):
+        return float(low)
+    return float(rng.uniform(low, high))
+
+
+def _ring_positions(count: int, radius_km: float) -> list[tuple[float, float]]:
+    return [
+        (
+            radius_km * math.cos(2.0 * math.pi * i / count),
+            radius_km * math.sin(2.0 * math.pi * i / count),
+        )
+        for i in range(count)
+    ]
+
+
+def _distance(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def generate_operator_topology(
+    profile: OperatorProfile, seed: int | None = None
+) -> NetworkTopology:
+    """Generate one synthetic operator network from a statistical profile.
+
+    The layout mirrors a typical metro aggregation network:
+
+    * one (or two) hub switches co-located with the edge compute unit,
+    * a ring of aggregation switches around the hub, each dual-homed to the
+      hub(s) and chained to its ring neighbours (this is where path diversity
+      comes from),
+    * base stations scattered over the urban area, each attached to its
+      nearest aggregation switch(es),
+    * an edge compute unit behind the hub and a core compute unit behind an
+      uncongested 20 ms backhaul link.
+    """
+    rng = make_rng(seed)
+    topology = NetworkTopology(name=profile.name)
+
+    # --- Compute units -------------------------------------------------- #
+    edge_capacity = profile.edge_cpus_per_bs * profile.num_base_stations
+    edge_cu = ComputeUnit(
+        name="edge-cu",
+        capacity_cpus=edge_capacity,
+        kind=ComputeUnitKind.EDGE,
+        position_km=(0.0, 0.0),
+    )
+    core_cu = ComputeUnit(
+        name="core-cu",
+        capacity_cpus=edge_capacity * profile.core_capacity_factor,
+        kind=ComputeUnitKind.CORE,
+        position_km=(profile.city_radius_km * 3.0, 0.0),
+        access_latency_ms=profile.core_latency_ms,
+    )
+    topology.add_compute_unit(edge_cu)
+    topology.add_compute_unit(core_cu)
+
+    # --- Hub switches ---------------------------------------------------- #
+    hub_names: list[str] = []
+    for i in range(profile.num_hubs):
+        hub = TransportSwitch(name=f"hub-{i}", position_km=(0.05 * i, 0.05 * i))
+        topology.add_switch(hub)
+        hub_names.append(hub.name)
+    for hub_name in hub_names:
+        for cu in (edge_cu, core_cu):
+            topology.add_link(
+                TransportLink(
+                    endpoint_a=hub_name,
+                    endpoint_b=cu.name,
+                    capacity_mbps=UNLIMITED_CAPACITY_MBPS,
+                    length_km=0.1,
+                    technology=LinkTechnology.FIBER,
+                    overhead=profile.transport_overhead,
+                )
+            )
+    if len(hub_names) > 1:
+        for a, b in zip(hub_names, hub_names[1:]):
+            topology.add_link(
+                TransportLink(
+                    endpoint_a=a,
+                    endpoint_b=b,
+                    capacity_mbps=UNLIMITED_CAPACITY_MBPS,
+                    length_km=0.1,
+                    technology=LinkTechnology.FIBER,
+                    overhead=profile.transport_overhead,
+                )
+            )
+
+    # --- Aggregation ring ------------------------------------------------ #
+    agg_radius = profile.city_radius_km * 0.4
+    agg_positions = _ring_positions(profile.num_aggregation_switches, agg_radius)
+    agg_names: list[str] = []
+    for i, position in enumerate(agg_positions):
+        switch = TransportSwitch(name=f"agg-{i}", position_km=position)
+        topology.add_switch(switch)
+        agg_names.append(switch.name)
+        hub_name = hub_names[i % len(hub_names)]
+        topology.add_link(
+            TransportLink(
+                endpoint_a=switch.name,
+                endpoint_b=hub_name,
+                capacity_mbps=_uniform(rng, profile.hub_capacity_mbps),
+                length_km=max(0.1, _distance(position, (0.0, 0.0))),
+                technology=profile.hub_technology,
+                overhead=profile.transport_overhead,
+            )
+        )
+    # Ring links between neighbouring aggregation switches.
+    if profile.aggregation_ring and len(agg_names) > 1:
+        for i in range(len(agg_names)):
+            a = agg_names[i]
+            b = agg_names[(i + 1) % len(agg_names)]
+            if len(agg_names) == 2 and i == 1:
+                break  # avoid duplicating the single pair
+            topology.add_link(
+                TransportLink(
+                    endpoint_a=a,
+                    endpoint_b=b,
+                    capacity_mbps=_uniform(rng, profile.aggregation_capacity_mbps),
+                    length_km=max(0.1, _distance(agg_positions[i], agg_positions[(i + 1) % len(agg_positions)])),
+                    technology=profile.aggregation_technology,
+                    overhead=profile.transport_overhead,
+                )
+            )
+
+    # --- Base stations ---------------------------------------------------- #
+    technologies = [tech for tech, _prob in profile.access_technology_mix]
+    tech_probs = [prob for _tech, prob in profile.access_technology_mix]
+    degree_choices = list(profile.bs_degree_choices)
+    degree_probs = list(profile.bs_degree_weights)
+
+    for i in range(profile.num_base_stations):
+        # Radial placement; sqrt keeps the density uniform over the disk, and
+        # the 0.1 km floor reproduces the "some BSs within 0.1 km" statement.
+        radius = profile.city_radius_km * math.sqrt(rng.uniform(0.0025, 1.0))
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        position = (radius * math.cos(angle), radius * math.sin(angle))
+        bs = BaseStation(
+            name=f"bs-{i}",
+            capacity_mhz=_uniform(rng, profile.bs_capacity_mhz_range),
+            position_km=position,
+            spectral_efficiency_mbps_per_mhz=profile.spectral_efficiency_mbps_per_mhz,
+        )
+        topology.add_base_station(bs)
+
+        degree = int(rng.choice(degree_choices, p=degree_probs))
+        degree = min(degree, len(agg_names))
+        nearest = sorted(
+            range(len(agg_names)), key=lambda idx: _distance(position, agg_positions[idx])
+        )[:degree]
+        technology = LinkTechnology(rng.choice([t.value for t in technologies], p=tech_probs))
+        for agg_index in nearest:
+            topology.add_link(
+                TransportLink(
+                    endpoint_a=bs.name,
+                    endpoint_b=agg_names[agg_index],
+                    capacity_mbps=_uniform(rng, profile.access_capacity_mbps[technology]),
+                    length_km=max(0.05, _distance(position, agg_positions[agg_index])),
+                    technology=technology,
+                    overhead=profile.transport_overhead,
+                )
+            )
+
+    topology.validate()
+    return topology

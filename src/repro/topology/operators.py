@@ -1,0 +1,222 @@
+"""The three operator networks of the evaluation, plus the Section 5 testbed.
+
+The profiles below are synthetic stand-ins for the confidential operator
+topologies used in the paper (see DESIGN.md, substitution table).  They are
+calibrated to the aggregate statistics of Section 4.3.1:
+
+``Romanian`` (N1)
+    198 base stations at 20 MHz, mixed fiber / copper / wireless backhaul
+    with capacities spanning 2-200 Gb/s, and high path redundancy (each BS is
+    multi-homed, giving ~6+ candidate paths towards the compute units).
+    Radio is the binding resource for broadband slices.
+
+``Swiss`` (N2)
+    197 base stations at 20 MHz with a mostly wireless backhaul whose
+    aggregation uplinks are an order of magnitude smaller, so the transport
+    network binds before the radio does.
+
+``Italian`` (N3)
+    1497 radio units clustered into 200 macro base stations of 80-100 MHz,
+    an almost entirely fiber backhaul, and very low path redundancy (most
+    clusters are single-homed, ~1.6 candidate paths).  Radio and transport
+    are abundant; the (unchanged) compute capacity becomes the bottleneck
+    for machine-type slices.
+
+All three share the compute dimensioning of the paper: an edge compute unit
+with 20 CPU cores per base station and a core compute unit five times larger
+behind an uncongested 20 ms backhaul.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.topology.elements import (
+    BaseStation,
+    ComputeUnit,
+    ComputeUnitKind,
+    LinkTechnology,
+    TransportLink,
+    TransportSwitch,
+)
+from repro.topology.generators import (
+    OperatorProfile,
+    UNLIMITED_CAPACITY_MBPS,
+    generate_operator_topology,
+)
+from repro.topology.network import NetworkTopology
+
+ROMANIAN_PROFILE = OperatorProfile(
+    name="romanian",
+    num_base_stations=198,
+    num_aggregation_switches=12,
+    num_hubs=2,
+    bs_degree_choices=(2, 3),
+    bs_degree_weights=(0.4, 0.6),
+    bs_capacity_mhz_range=(20.0, 20.0),
+    city_radius_km=10.0,
+    access_technology_mix=(
+        (LinkTechnology.FIBER, 0.45),
+        (LinkTechnology.COPPER, 0.30),
+        (LinkTechnology.WIRELESS, 0.25),
+    ),
+    access_capacity_mbps={
+        LinkTechnology.FIBER: (10_000.0, 200_000.0),
+        LinkTechnology.COPPER: (2_000.0, 10_000.0),
+        LinkTechnology.WIRELESS: (2_000.0, 5_000.0),
+    },
+    aggregation_capacity_mbps=(20_000.0, 100_000.0),
+    aggregation_technology=LinkTechnology.FIBER,
+    hub_capacity_mbps=(50_000.0, 200_000.0),
+    hub_technology=LinkTechnology.FIBER,
+)
+
+SWISS_PROFILE = OperatorProfile(
+    name="swiss",
+    num_base_stations=197,
+    num_aggregation_switches=12,
+    num_hubs=2,
+    bs_degree_choices=(1, 2),
+    bs_degree_weights=(0.35, 0.65),
+    bs_capacity_mhz_range=(20.0, 20.0),
+    city_radius_km=8.0,
+    access_technology_mix=(
+        (LinkTechnology.WIRELESS, 0.85),
+        (LinkTechnology.FIBER, 0.15),
+    ),
+    access_capacity_mbps={
+        LinkTechnology.WIRELESS: (300.0, 1_000.0),
+        LinkTechnology.FIBER: (2_000.0, 10_000.0),
+    },
+    # Wireless aggregation uplinks: roughly 1-2.5 Gb/s shared by ~16 BSs, so
+    # a handful of 50 Mb/s broadband SLAs saturate the transport domain.
+    aggregation_capacity_mbps=(800.0, 1_500.0),
+    aggregation_technology=LinkTechnology.WIRELESS,
+    hub_capacity_mbps=(1_000.0, 2_500.0),
+    hub_technology=LinkTechnology.WIRELESS,
+)
+
+ITALIAN_PROFILE = OperatorProfile(
+    name="italian",
+    num_base_stations=200,
+    num_aggregation_switches=20,
+    num_hubs=1,
+    bs_degree_choices=(1, 2),
+    bs_degree_weights=(0.8, 0.2),
+    bs_capacity_mhz_range=(80.0, 100.0),
+    city_radius_km=20.0,
+    access_technology_mix=((LinkTechnology.FIBER, 1.0),),
+    access_capacity_mbps={LinkTechnology.FIBER: (10_000.0, 200_000.0)},
+    aggregation_capacity_mbps=(50_000.0, 200_000.0),
+    aggregation_technology=LinkTechnology.FIBER,
+    hub_capacity_mbps=(100_000.0, 200_000.0),
+    hub_technology=LinkTechnology.FIBER,
+    # Mostly single-homed clusters on a tree-shaped fiber metro: very low path
+    # redundancy (the paper reports a mean of 1.6 candidate paths).
+    aggregation_ring=False,
+)
+
+
+def romanian_topology(
+    num_base_stations: int | None = None, seed: int | None = None
+) -> NetworkTopology:
+    """Synthetic Romanian network (N1).  ``num_base_stations`` scales it down."""
+    return _build(ROMANIAN_PROFILE, num_base_stations, seed)
+
+
+def swiss_topology(
+    num_base_stations: int | None = None, seed: int | None = None
+) -> NetworkTopology:
+    """Synthetic Swiss network (N2).  ``num_base_stations`` scales it down."""
+    return _build(SWISS_PROFILE, num_base_stations, seed)
+
+
+def italian_topology(
+    num_base_stations: int | None = None, seed: int | None = None
+) -> NetworkTopology:
+    """Synthetic Italian network (N3).  ``num_base_stations`` scales it down."""
+    return _build(ITALIAN_PROFILE, num_base_stations, seed)
+
+
+def _build(
+    profile: OperatorProfile, num_base_stations: int | None, seed: int | None
+) -> NetworkTopology:
+    if num_base_stations is not None and num_base_stations != profile.num_base_stations:
+        profile = profile.scaled(num_base_stations)
+    return generate_operator_topology(profile, seed=seed)
+
+
+OPERATOR_FACTORIES: dict[str, Callable[..., NetworkTopology]] = {
+    "romanian": romanian_topology,
+    "swiss": swiss_topology,
+    "italian": italian_topology,
+}
+
+OPERATOR_PROFILES: dict[str, OperatorProfile] = {
+    "romanian": ROMANIAN_PROFILE,
+    "swiss": SWISS_PROFILE,
+    "italian": ITALIAN_PROFILE,
+}
+
+
+def testbed_topology() -> NetworkTopology:
+    """The experimental proof-of-concept testbed of Section 5 (Fig. 7).
+
+    Two 20 MHz base stations, one OpenFlow switch with 1 Gb/s ports, an edge
+    compute unit with 16 CPU cores and a core compute unit with 64 CPU cores
+    behind an emulated wide-area backhaul.  The paper emulates a 30 ms
+    backhaul and still anchors 30 ms-tolerant mMTC slices behind it; because
+    our delay model adds the transport-network delay on top of the emulated
+    backhaul, we use 28 ms so that the end-to-end path delay stays within the
+    30 ms tolerance and the intended slice placement is preserved.
+    """
+    topology = NetworkTopology(name="testbed")
+    topology.add_switch(TransportSwitch(name="openflow-switch"))
+    topology.add_compute_unit(
+        ComputeUnit(
+            name="edge-cu", capacity_cpus=16.0, kind=ComputeUnitKind.EDGE
+        )
+    )
+    topology.add_compute_unit(
+        ComputeUnit(
+            name="core-cu",
+            capacity_cpus=64.0,
+            kind=ComputeUnitKind.CORE,
+            access_latency_ms=28.0,
+        )
+    )
+    for i in range(2):
+        topology.add_base_station(
+            BaseStation(name=f"bs-{i}", capacity_mhz=20.0, position_km=(0.5 * (i + 1), 0.0))
+        )
+        topology.add_link(
+            TransportLink(
+                endpoint_a=f"bs-{i}",
+                endpoint_b="openflow-switch",
+                capacity_mbps=1_000.0,
+                length_km=0.5,
+                technology=LinkTechnology.COPPER,
+            )
+        )
+    # One 1 Gb/s link from the switch towards each compute unit ("Link 0" and
+    # "Link 1" in Fig. 8(c)).
+    topology.add_link(
+        TransportLink(
+            endpoint_a="openflow-switch",
+            endpoint_b="edge-cu",
+            capacity_mbps=1_000.0,
+            length_km=0.1,
+            technology=LinkTechnology.COPPER,
+        )
+    )
+    topology.add_link(
+        TransportLink(
+            endpoint_a="openflow-switch",
+            endpoint_b="core-cu",
+            capacity_mbps=1_000.0,
+            length_km=0.1,
+            technology=LinkTechnology.COPPER,
+        )
+    )
+    topology.validate()
+    return topology

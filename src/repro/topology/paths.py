@@ -1,0 +1,183 @@
+"""Candidate path enumeration between base stations and compute units.
+
+Section 2.1.2 of the paper pre-computes, for every base station ``b`` and
+compute unit ``c``, a set ``P_{b,c}`` of candidate paths using k-shortest-path
+methods based on Dijkstra's algorithm.  Each path is characterised by a delay
+``D_p`` (store-and-forward model of :mod:`repro.topology.delay`) and, in this
+implementation, also by a bottleneck capacity used by Fig. 4(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import Mapping
+
+import networkx as nx
+
+from repro.topology.delay import link_delay_us
+from repro.topology.elements import TransportLink
+from repro.topology.network import NetworkTopology
+
+
+@dataclass(frozen=True)
+class Path:
+    """A candidate path ``p`` between one base station and one compute unit."""
+
+    base_station: str
+    compute_unit: str
+    nodes: tuple[str, ...]
+    links: tuple[TransportLink, ...]
+    delay_us: float
+    capacity_mbps: float
+
+    @property
+    def delay_ms(self) -> float:
+        return self.delay_us / 1000.0
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.links)
+
+    def uses_link(self, key: tuple[str, str]) -> bool:
+        """True if the (canonically keyed) link belongs to this path."""
+        return any(link.key == tuple(sorted(key)) for link in self.links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Path({self.base_station}->{self.compute_unit}, hops={self.hop_count}, "
+            f"delay={self.delay_ms:.3f}ms, cap={self.capacity_mbps:.0f}Mb/s)"
+        )
+
+
+class PathSet:
+    """All candidate paths of a topology, indexed by (base station, CU).
+
+    This is the ``P_{b,c}`` family of the paper.  The AC-RR problem builder
+    iterates over :meth:`items` to create one decision variable per
+    (tenant, path) pair.
+    """
+
+    def __init__(self, paths: Mapping[tuple[str, str], list[Path]]):
+        self._paths: dict[tuple[str, str], list[Path]] = {
+            key: list(value) for key, value in paths.items()
+        }
+
+    def paths(self, base_station: str, compute_unit: str) -> list[Path]:
+        """Candidate paths between one BS and one CU (may be empty)."""
+        return list(self._paths.get((base_station, compute_unit), []))
+
+    def items(self) -> list[tuple[tuple[str, str], list[Path]]]:
+        return [(key, list(value)) for key, value in self._paths.items()]
+
+    def all_paths(self) -> list[Path]:
+        """Flat list of every candidate path in the topology."""
+        return [path for paths in self._paths.values() for path in paths]
+
+    def paths_from(self, base_station: str) -> list[Path]:
+        """All candidate paths that originate at ``base_station``."""
+        return [p for (bs, _cu), paths in self._paths.items() if bs == base_station for p in paths]
+
+    def paths_to(self, compute_unit: str) -> list[Path]:
+        """All candidate paths that terminate at ``compute_unit``."""
+        return [p for (_bs, cu), paths in self._paths.items() if cu == compute_unit for p in paths]
+
+    def base_stations(self) -> list[str]:
+        return sorted({bs for bs, _cu in self._paths})
+
+    def compute_units(self) -> list[str]:
+        return sorted({cu for _bs, cu in self._paths})
+
+    def mean_paths_per_pair(self) -> float:
+        """Mean path redundancy (the paper reports 6.6 for N1 and 1.6 for N3)."""
+        if not self._paths:
+            return 0.0
+        counts = [len(paths) for paths in self._paths.values()]
+        return sum(counts) / len(counts)
+
+    def __len__(self) -> int:
+        return sum(len(paths) for paths in self._paths.values())
+
+
+def _build_path(
+    topology: NetworkTopology, bs_name: str, cu_name: str, node_sequence: list[str]
+) -> Path:
+    links = tuple(topology.links_between(node_sequence))
+    cu = topology.compute_unit(cu_name)
+    delay = sum(link_delay_us(link) for link in links) + cu.access_latency_ms * 1000.0
+    capacity = min(link.capacity_mbps for link in links)
+    return Path(
+        base_station=bs_name,
+        compute_unit=cu_name,
+        nodes=tuple(node_sequence),
+        links=links,
+        delay_us=delay,
+        capacity_mbps=capacity,
+    )
+
+
+def k_shortest_paths(
+    topology: NetworkTopology,
+    base_station: str,
+    compute_unit: str,
+    k: int,
+    weight: str = "delay",
+) -> list[Path]:
+    """Compute up to ``k`` loop-free shortest paths between a BS and a CU.
+
+    Paths are ranked by total store-and-forward delay (``weight="delay"``) or
+    by hop count (``weight="hops"``).  Returns an empty list when the two
+    nodes are disconnected.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    g = topology.graph()
+    if base_station not in g or compute_unit not in g:
+        raise KeyError("both endpoints must exist in the topology")
+    # Transport paths terminate at radio sites but never transit through
+    # them: remove every other base station from the search graph so that a
+    # dual-homed cell cannot act as a relay between aggregation switches.
+    other_base_stations = [
+        name
+        for name, data in g.nodes(data=True)
+        if data.get("kind") == "bs" and name != base_station
+    ]
+    g.remove_nodes_from(other_base_stations)
+
+    if weight == "delay":
+        def edge_weight(u: str, v: str, _data: dict) -> float:
+            return link_delay_us(topology.link(u, v))
+    elif weight == "hops":
+        def edge_weight(u: str, v: str, _data: dict) -> float:
+            return 1.0
+    else:
+        raise ValueError(f"unknown weight {weight!r} (expected 'delay' or 'hops')")
+
+    try:
+        generator = nx.shortest_simple_paths(
+            g, base_station, compute_unit, weight=edge_weight
+        )
+        node_sequences = list(islice(generator, k))
+    except nx.NetworkXNoPath:
+        return []
+    return [
+        _build_path(topology, base_station, compute_unit, sequence)
+        for sequence in node_sequences
+    ]
+
+
+def compute_path_sets(
+    topology: NetworkTopology, k: int = 4, weight: str = "delay"
+) -> PathSet:
+    """Enumerate candidate paths for every (base station, compute unit) pair.
+
+    This is the offline pre-computation step described in Section 2.1.2; the
+    result is reused across decision epochs.
+    """
+    paths: dict[tuple[str, str], list[Path]] = {}
+    for bs in topology.base_station_names:
+        for cu in topology.compute_unit_names:
+            candidates = k_shortest_paths(topology, bs, cu, k=k, weight=weight)
+            if candidates:
+                paths[(bs, cu)] = candidates
+    return PathSet(paths)

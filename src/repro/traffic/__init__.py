@@ -1,0 +1,30 @@
+"""Synthetic slice traffic demand.
+
+The paper drives its evaluation with per-slice traffic whose monitoring-epoch
+peaks follow a Gaussian distribution with configurable mean (``alpha * Lambda``)
+and standard deviation (``sigma``), plus diurnal patterns in the testbed
+experiment.  This package generates those traces reproducibly.
+"""
+
+from repro.traffic.demand import (
+    DemandModel,
+    GaussianDemand,
+    DeterministicDemand,
+    OnOffDemand,
+    EpochDemand,
+)
+from repro.traffic.seasonal import DiurnalProfile, SeasonalDemand, DEFAULT_DIURNAL_PROFILE
+from repro.traffic.patterns import demand_for_template, DemandSpec
+
+__all__ = [
+    "DemandModel",
+    "GaussianDemand",
+    "DeterministicDemand",
+    "OnOffDemand",
+    "EpochDemand",
+    "DiurnalProfile",
+    "SeasonalDemand",
+    "DEFAULT_DIURNAL_PROFILE",
+    "demand_for_template",
+    "DemandSpec",
+]

@@ -1,0 +1,88 @@
+"""Demand factories tied to the slice templates of Table 1.
+
+The evaluation parameterises each slice's demand relative to its SLA: the
+mean load is ``alpha * Lambda`` and the standard deviation is expressed as a
+fraction of that mean (0, 1/4 or 1/2 in Fig. 5).  The mMTC template is the
+exception: its load is deterministic.  This module builds the right demand
+model for a given template so that scenario code stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.slices import SliceRequest, SliceTemplate
+from repro.traffic.demand import DemandModel, DeterministicDemand, GaussianDemand
+from repro.traffic.seasonal import DEFAULT_DIURNAL_PROFILE, DiurnalProfile, SeasonalDemand
+from repro.utils.rng import derive_seed
+from repro.utils.validation import ensure_in_range
+
+
+@dataclass(frozen=True)
+class DemandSpec:
+    """Declarative description of a slice's traffic behaviour.
+
+    Attributes
+    ----------
+    mean_fraction:
+        The paper's ``alpha``: mean load as a fraction of the SLA bitrate.
+    relative_std:
+        Standard deviation as a fraction of the mean load (``sigma = rel *
+        lambda_bar``); ignored for deterministic templates.
+    seasonal:
+        When True the mean follows the diurnal profile (used by the testbed
+        experiment and the forecasting ablation); otherwise it is stationary.
+    """
+
+    mean_fraction: float = 0.5
+    relative_std: float = 0.25
+    seasonal: bool = False
+    profile: DiurnalProfile = DEFAULT_DIURNAL_PROFILE
+    epochs_per_day: int = 24
+
+    def __post_init__(self) -> None:
+        ensure_in_range(self.mean_fraction, 0.0, 1.0, "mean_fraction")
+        ensure_in_range(self.relative_std, 0.0, 1.0, "relative_std")
+
+
+def demand_for_template(
+    template: SliceTemplate,
+    spec: DemandSpec,
+    seed: int | None = None,
+    label: str | int = 0,
+) -> DemandModel:
+    """Build the demand model of one slice instance.
+
+    ``label`` differentiates the random streams of otherwise identical slices
+    (each tenant's demand is independent in the paper's scenarios).
+    """
+    slice_seed = derive_seed(seed, template.name, label)
+    mean = spec.mean_fraction * template.sla_mbps
+    deterministic = template.default_relative_std == 0.0
+    relative_std = 0.0 if deterministic else spec.relative_std
+    if deterministic:
+        return DeterministicDemand(
+            mean_mbps=mean, sla_mbps=template.sla_mbps, seed=slice_seed
+        )
+    if spec.seasonal:
+        return SeasonalDemand(
+            base_mean_mbps=mean,
+            relative_std=relative_std,
+            sla_mbps=template.sla_mbps,
+            profile=spec.profile,
+            epochs_per_day=spec.epochs_per_day,
+            seed=slice_seed,
+        )
+    return GaussianDemand(
+        mean_mbps=mean,
+        std_mbps=relative_std * mean,
+        sla_mbps=template.sla_mbps,
+        seed=slice_seed,
+    )
+
+
+def demand_for_request(
+    request: SliceRequest, spec: DemandSpec, seed: int | None = None
+) -> DemandModel:
+    """Demand model for a concrete slice request (seeded by its name)."""
+    return demand_for_template(request.template, spec, seed=seed, label=request.name)

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded random streams, statistics helpers, validation."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.stats import (
+    EmpiricalCDF,
+    mean_and_stderr,
+    relative_gain,
+    running_mean,
+)
+from repro.utils.validation import (
+    ensure_positive,
+    ensure_non_negative,
+    ensure_in_range,
+    ensure_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "EmpiricalCDF",
+    "mean_and_stderr",
+    "relative_gain",
+    "running_mean",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_in_range",
+    "ensure_probability",
+]

@@ -1,0 +1,29 @@
+"""Small argument-validation helpers shared by the public API."""
+
+from __future__ import annotations
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, otherwise raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, otherwise raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if within [low, high], otherwise raise ``ValueError``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Return ``value`` if it is a valid probability in [0, 1]."""
+    return ensure_in_range(value, 0.0, 1.0, name)

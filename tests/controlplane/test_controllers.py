@@ -1,0 +1,70 @@
+"""Tests for the RAN / transport / cloud domain controllers."""
+
+import pytest
+
+from repro.controlplane.controllers import ControllerSet
+from repro.core.milp_solver import DirectMILPSolver
+
+
+@pytest.fixture
+def applied_controllers(mixed_problem):
+    decision = DirectMILPSolver().solve(mixed_problem)
+    controllers = ControllerSet.for_topology(mixed_problem.topology)
+    controllers.apply(mixed_problem, decision)
+    return mixed_problem, decision, controllers
+
+
+class TestRanController:
+    def test_shares_granted_for_accepted_slices(self, applied_controllers):
+        problem, decision, controllers = applied_controllers
+        for bs in problem.topology.base_station_names:
+            shares = controllers.ran.shares(bs)
+            accepted_at_bs = {
+                name
+                for name, alloc in decision.allocations.items()
+                if alloc.accepted and bs in alloc.reservations_mbps
+            }
+            assert set(shares) == accepted_at_bs
+
+    def test_served_bitrate_clipped_to_share(self, applied_controllers):
+        problem, decision, controllers = applied_controllers
+        name = decision.accepted_tenants[0]
+        bs = next(iter(decision.allocation(name).reservations_mbps))
+        reservation = decision.allocation(name).reservations_mbps[bs]
+        assert controllers.ran.served_bitrate(bs, name, reservation * 2) == pytest.approx(
+            reservation, rel=1e-6
+        )
+
+    def test_reapplying_revokes_stale_shares(self, applied_controllers):
+        problem, decision, controllers = applied_controllers
+        # Re-apply a decision where nothing is accepted: all shares revoked.
+        import copy
+
+        empty = copy.deepcopy(decision)
+        for alloc in empty.allocations.values():
+            object.__setattr__(alloc, "accepted", False)
+        controllers.ran.apply(problem, empty)
+        for bs in problem.topology.base_station_names:
+            assert controllers.ran.shares(bs) == {}
+
+
+class TestTransportController:
+    def test_link_reservation_and_headroom(self, applied_controllers):
+        problem, decision, controllers = applied_controllers
+        for link in problem.topology.links:
+            reserved = controllers.transport.link_reservation(link.key)
+            headroom = controllers.transport.link_headroom(link.key)
+            assert reserved >= 0.0
+            assert headroom == pytest.approx(link.capacity_mbps - reserved)
+            assert headroom >= -1e-6
+
+
+class TestCloudController:
+    def test_cu_reservation_within_capacity(self, applied_controllers):
+        problem, decision, controllers = applied_controllers
+        for cu in problem.topology.compute_units:
+            reserved = controllers.cloud.cu_reservation(cu.name)
+            assert 0.0 <= reserved <= cu.capacity_cpus + 1e-6
+            assert controllers.cloud.cu_headroom(cu.name) == pytest.approx(
+                cu.capacity_cpus - reserved
+            )

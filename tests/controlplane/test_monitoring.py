@@ -1,0 +1,46 @@
+"""Tests for the monitoring service (per-epoch peak histories)."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane.monitoring import MonitoringService
+
+
+class TestPeakHistory:
+    def test_peak_per_epoch(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-0", 0, [1.0, 4.0, 2.0])
+        monitoring.record_samples("s", "bs-0", 1, [3.0, 3.5])
+        history = monitoring.peak_history("s", base_station="bs-0")
+        assert np.allclose(history, [4.0, 3.5])
+
+    def test_peak_across_base_stations(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-0", 0, [1.0])
+        monitoring.record_samples("s", "bs-1", 0, [7.0])
+        monitoring.record_samples("s", "bs-0", 1, [2.0])
+        monitoring.record_samples("s", "bs-1", 1, [1.0])
+        assert np.allclose(monitoring.peak_history("s"), [7.0, 2.0])
+
+    def test_unknown_slice_has_empty_history(self):
+        assert MonitoringService().peak_history("ghost").size == 0
+
+    def test_num_observed_epochs(self):
+        monitoring = MonitoringService()
+        for epoch in range(3):
+            monitoring.record_samples("s", "bs-0", epoch, [1.0])
+        assert monitoring.num_observed_epochs("s") == 3
+
+    def test_observed_base_stations(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-1", 0, [1.0])
+        monitoring.record_samples("s", "bs-0", 0, [1.0])
+        monitoring.record_samples("other", "bs-9", 0, [1.0])
+        assert monitoring.observed_base_stations("s") == ["bs-0", "bs-1"]
+
+    def test_mean_load(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-0", 0, [1.0, 3.0])
+        monitoring.record_samples("s", "bs-1", 0, [5.0, 7.0])
+        assert monitoring.mean_load("s") == pytest.approx(4.0)
+        assert monitoring.mean_load("ghost") == 0.0

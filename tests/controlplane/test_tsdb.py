@@ -1,0 +1,69 @@
+"""Tests for the in-memory time-series store."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane.tsdb import TimeSeriesStore
+
+
+class TestWriteAndRead:
+    def test_round_trip(self):
+        store = TimeSeriesStore()
+        store.write("load", 0, 10.0, tags={"slice": "a"})
+        store.write("load", 1, 12.0, tags={"slice": "a"})
+        assert np.allclose(store.values("load", tags={"slice": "a"}), [10.0, 12.0])
+
+    def test_tags_separate_series(self):
+        store = TimeSeriesStore()
+        store.write("load", 0, 1.0, tags={"slice": "a"})
+        store.write("load", 0, 2.0, tags={"slice": "b"})
+        assert store.values("load", tags={"slice": "a"}).tolist() == [1.0]
+        assert len(store) == 2
+
+    def test_missing_series_is_empty(self):
+        assert TimeSeriesStore().values("nope").size == 0
+
+    def test_out_of_order_epoch_rejected(self):
+        store = TimeSeriesStore()
+        store.write("load", 5, 1.0)
+        with pytest.raises(ValueError):
+            store.write("load", 4, 1.0)
+
+    def test_write_many(self):
+        store = TimeSeriesStore()
+        store.write_many("load", 0, [1.0, 2.0, 3.0])
+        assert store.values("load").size == 3
+
+    def test_epoch_range_filter(self):
+        store = TimeSeriesStore()
+        for epoch in range(5):
+            store.write("load", epoch, float(epoch))
+        assert store.values("load", start_epoch=2).tolist() == [2.0, 3.0, 4.0]
+        assert store.values("load", end_epoch=1).tolist() == [0.0, 1.0]
+
+
+class TestAggregation:
+    def test_per_epoch_max(self):
+        store = TimeSeriesStore()
+        store.write_many("load", 0, [1.0, 5.0, 3.0])
+        store.write_many("load", 1, [2.0, 2.0])
+        assert store.per_epoch_aggregate("load", aggregate="max") == {0: 5.0, 1: 2.0}
+
+    def test_per_epoch_mean_and_sum(self):
+        store = TimeSeriesStore()
+        store.write_many("load", 0, [1.0, 3.0])
+        assert store.per_epoch_aggregate("load", aggregate="mean")[0] == pytest.approx(2.0)
+        assert store.per_epoch_aggregate("load", aggregate="sum")[0] == pytest.approx(4.0)
+
+    def test_unknown_aggregate_rejected(self):
+        store = TimeSeriesStore()
+        store.write("load", 0, 1.0)
+        with pytest.raises(ValueError):
+            store.per_epoch_aggregate("load", aggregate="median")
+
+    def test_series_names_and_clear(self):
+        store = TimeSeriesStore()
+        store.write("load", 0, 1.0, tags={"slice": "a"})
+        assert store.series_names() == [("load", {"slice": "a"})]
+        store.clear()
+        assert len(store) == 0

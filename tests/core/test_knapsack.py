@@ -1,0 +1,73 @@
+"""Tests for the first-fit-decreasing knapsack solver used by KAC."""
+
+from repro.core.knapsack import KnapsackItem, solve_knapsack_ffd
+
+
+def keys(selection):
+    return {item.key for item in selection}
+
+
+class TestSelection:
+    def test_respects_capacity(self):
+        items = [
+            KnapsackItem(key="a", value=10.0, weight=6.0),
+            KnapsackItem(key="b", value=9.0, weight=5.0),
+            KnapsackItem(key="c", value=1.0, weight=5.0),
+        ]
+        chosen = solve_knapsack_ffd(items, capacity=11.0)
+        total_weight = sum(i.weight for i in chosen)
+        assert total_weight <= 11.0
+        assert keys(chosen) == {"a", "b"}
+
+    def test_density_ordering(self):
+        items = [
+            KnapsackItem(key="dense", value=5.0, weight=1.0),
+            KnapsackItem(key="heavy", value=6.0, weight=10.0),
+        ]
+        chosen = solve_knapsack_ffd(items, capacity=10.0)
+        # The denser item is packed first and the heavy one no longer fits.
+        assert keys(chosen) == {"dense"}
+
+    def test_zero_or_negative_weight_items_are_free(self):
+        items = [
+            KnapsackItem(key="free", value=1.0, weight=-2.0),
+            KnapsackItem(key="paid", value=1.0, weight=3.0),
+        ]
+        chosen = solve_knapsack_ffd(items, capacity=3.0)
+        assert keys(chosen) == {"free", "paid"}
+
+    def test_non_positive_value_items_skipped(self):
+        items = [KnapsackItem(key="useless", value=0.0, weight=1.0)]
+        assert solve_knapsack_ffd(items, capacity=10.0) == []
+
+    def test_empty_input(self):
+        assert solve_knapsack_ffd([], capacity=5.0) == []
+
+
+class TestGroupsAndMandatory:
+    def test_one_item_per_group(self):
+        items = [
+            KnapsackItem(key="a1", value=5.0, weight=1.0, group="tenant-a"),
+            KnapsackItem(key="a2", value=4.0, weight=1.0, group="tenant-a"),
+            KnapsackItem(key="b1", value=3.0, weight=1.0, group="tenant-b"),
+        ]
+        chosen = solve_knapsack_ffd(items, capacity=10.0)
+        assert keys(chosen) == {"a1", "b1"}
+
+    def test_mandatory_selected_even_if_unprofitable(self):
+        items = [
+            KnapsackItem(key="must", value=-5.0, weight=4.0, mandatory=True),
+            KnapsackItem(key="nice", value=3.0, weight=4.0),
+        ]
+        chosen = solve_knapsack_ffd(items, capacity=5.0)
+        assert "must" in keys(chosen)
+        # Capacity left after the mandatory item is 1.0 < 4.0.
+        assert "nice" not in keys(chosen)
+
+    def test_mandatory_respects_group_uniqueness(self):
+        items = [
+            KnapsackItem(key="m1", value=1.0, weight=1.0, group="g", mandatory=True),
+            KnapsackItem(key="m2", value=1.0, weight=1.0, group="g", mandatory=True),
+        ]
+        chosen = solve_knapsack_ffd(items, capacity=10.0)
+        assert len(chosen) == 1

@@ -1,0 +1,108 @@
+"""Tests for the risk-cost function of Section 3.1."""
+
+import pytest
+
+from repro.core.forecast_inputs import ForecastInput
+from repro.core.risk import (
+    deficit_probability_proxy,
+    expected_slice_cost,
+    risk_cost,
+    uncertainty_scale,
+)
+
+
+class TestDeficitProbabilityProxy:
+    def test_full_reservation_has_zero_risk(self):
+        assert deficit_probability_proxy(50.0, 10.0, 50.0) == 0.0
+
+    def test_forecast_only_reservation_has_max_risk(self):
+        assert deficit_probability_proxy(10.0, 10.0, 50.0) == pytest.approx(1.0)
+
+    def test_linear_in_between(self):
+        assert deficit_probability_proxy(30.0, 10.0, 50.0) == pytest.approx(0.5)
+
+    def test_clipped_to_unit_interval(self):
+        assert deficit_probability_proxy(60.0, 10.0, 50.0) == 0.0
+        assert deficit_probability_proxy(0.0, 10.0, 50.0) == 1.0
+
+    def test_forecast_at_sla(self):
+        # No overbooking headroom: reserving the SLA is safe, anything less is
+        # maximal risk.
+        assert deficit_probability_proxy(50.0, 50.0, 50.0) == 0.0
+        assert deficit_probability_proxy(49.0, 50.0, 50.0) == 1.0
+
+    def test_sla_must_be_positive(self):
+        with pytest.raises(ValueError):
+            deficit_probability_proxy(1.0, 1.0, 0.0)
+
+
+class TestUncertaintyScale:
+    def test_product(self):
+        assert uncertainty_scale(0.5, 2.0) == pytest.approx(1.0)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            uncertainty_scale(0.0, 1.0)
+        with pytest.raises(ValueError):
+            uncertainty_scale(1.5, 1.0)
+        with pytest.raises(ValueError):
+            uncertainty_scale(0.5, 0.0)
+
+
+class TestRiskCost:
+    def test_monotone_decreasing_in_reservation(self):
+        costs = [
+            risk_cost(z, 10.0, 50.0, sigma_hat=0.5, duration_epochs=1.0)
+            for z in (10.0, 20.0, 30.0, 40.0, 50.0)
+        ]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == 0.0
+
+    def test_scales_with_uncertainty(self):
+        low = risk_cost(20.0, 10.0, 50.0, sigma_hat=0.1, duration_epochs=1.0)
+        high = risk_cost(20.0, 10.0, 50.0, sigma_hat=0.9, duration_epochs=1.0)
+        assert high == pytest.approx(9 * low)
+
+
+class TestExpectedSliceCost:
+    def test_full_reservation_cost_is_minus_reward(self):
+        cost = expected_slice_cost(
+            reservation_mbps=50.0,
+            lambda_hat_mbps=10.0,
+            sla_mbps=50.0,
+            sigma_hat=0.3,
+            duration_epochs=1.0,
+            reward=2.0,
+            penalty_rate=0.04,
+        )
+        assert cost == pytest.approx(-2.0)
+
+    def test_aggressive_reservation_can_be_unprofitable(self):
+        cost = expected_slice_cost(
+            reservation_mbps=10.0,
+            lambda_hat_mbps=10.0,
+            sla_mbps=50.0,
+            sigma_hat=1.0,
+            duration_epochs=10.0,
+            reward=1.0,
+            penalty_rate=1.0,
+        )
+        assert cost > 0.0
+
+
+class TestForecastInput:
+    def test_clamped_keeps_headroom(self):
+        forecast = ForecastInput(lambda_hat_mbps=50.0, sigma_hat=0.0).clamped(50.0)
+        assert forecast.lambda_hat_mbps < 50.0
+        assert forecast.sigma_hat > 0.0
+
+    def test_pessimistic_is_near_sla(self):
+        forecast = ForecastInput.pessimistic(50.0)
+        assert forecast.lambda_hat_mbps == pytest.approx(49.95)
+        assert forecast.sigma_hat == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForecastInput(lambda_hat_mbps=-1.0, sigma_hat=0.5)
+        with pytest.raises(ValueError):
+            ForecastInput(lambda_hat_mbps=1.0, sigma_hat=1.5)

@@ -1,0 +1,93 @@
+"""Tests for the rate-control middlebox (Section 2.1.3)."""
+
+import pytest
+
+from repro.dataplane.middlebox import RateControlMiddlebox
+
+
+def make_middlebox(reservation=30.0, sla=50.0, buffer_mb=50.0):
+    return RateControlMiddlebox(
+        slice_name="s", sla_mbps=sla, reservation_mbps=reservation, buffer_capacity_mb=buffer_mb
+    )
+
+
+class TestRegimes:
+    def test_below_reservation_forwarded_transparently(self):
+        report = make_middlebox().process_sample(20.0)
+        assert report.forwarded_mbps == pytest.approx(20.0)
+        assert not report.violated
+        assert report.sla_violation_mbps == 0.0
+
+    def test_between_reservation_and_sla_is_shaped(self):
+        report = make_middlebox(reservation=30.0, sla=50.0).process_sample(40.0)
+        assert report.forwarded_mbps == pytest.approx(30.0)
+        # The 10 Mb/s above the reservation is buffered and, once the proxy
+        # buffer fills within the 5-minute sample, dropped -- either way it is
+        # an SLA violation caused by overbooking.
+        assert report.sla_violation_mbps == pytest.approx(10.0)
+        assert report.violated
+        assert report.dropped_beyond_sla_mbps == 0.0
+
+    def test_short_burst_fits_in_the_buffer(self):
+        report = make_middlebox(reservation=30.0, sla=50.0).process_sample(
+            40.0, sample_seconds=5.0
+        )
+        assert report.buffered_mbps == pytest.approx(10.0)
+        assert report.dropped_overflow_mbps == 0.0
+
+    def test_beyond_sla_is_dropped_without_violation(self):
+        report = make_middlebox(reservation=50.0, sla=50.0).process_sample(70.0)
+        assert report.dropped_beyond_sla_mbps == pytest.approx(20.0)
+        assert report.forwarded_mbps == pytest.approx(50.0)
+        assert not report.violated  # exceeding the SLA is the tenant's problem
+
+    def test_violation_fraction(self):
+        report = make_middlebox(reservation=30.0, sla=50.0).process_sample(40.0)
+        assert report.violation_fraction == pytest.approx(10.0 / 40.0)
+
+    def test_conservation_of_traffic(self):
+        report = make_middlebox(reservation=30.0, sla=50.0).process_sample(60.0)
+        total = (
+            report.forwarded_mbps
+            + report.buffered_mbps
+            + report.dropped_beyond_sla_mbps
+            + report.dropped_overflow_mbps
+        )
+        assert total == pytest.approx(report.offered_mbps)
+
+
+class TestBuffering:
+    def test_backlog_drains_when_load_drops(self):
+        middlebox = make_middlebox(reservation=30.0, sla=50.0)
+        middlebox.process_sample(45.0, sample_seconds=10.0)
+        assert middlebox.buffer_occupancy_mb > 0.0
+        middlebox.process_sample(5.0, sample_seconds=10.0)
+        assert middlebox.buffer_occupancy_mb == pytest.approx(0.0, abs=1e-9)
+
+    def test_overflow_dropped_when_buffer_full(self):
+        middlebox = make_middlebox(reservation=10.0, sla=50.0, buffer_mb=1.0)
+        report = middlebox.process_sample(50.0, sample_seconds=100.0)
+        assert report.dropped_overflow_mbps > 0.0
+        assert middlebox.buffer_occupancy_mb == pytest.approx(1.0)
+
+    def test_reset_flushes_buffer(self):
+        middlebox = make_middlebox(reservation=10.0, sla=50.0)
+        middlebox.process_sample(40.0)
+        middlebox.reset()
+        assert middlebox.buffer_occupancy_mb == 0.0
+
+
+class TestConfiguration:
+    def test_update_reservation(self):
+        middlebox = make_middlebox(reservation=10.0)
+        middlebox.update_reservation(45.0)
+        report = middlebox.process_sample(40.0)
+        assert not report.violated
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_middlebox(sla=0.0)
+        with pytest.raises(ValueError):
+            make_middlebox().process_sample(-1.0)
+        with pytest.raises(ValueError):
+            make_middlebox().update_reservation(-5.0)

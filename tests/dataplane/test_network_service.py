@@ -1,0 +1,59 @@
+"""Tests for the ETSI-style network-service construction."""
+
+import pytest
+
+from repro.core.milp_solver import DirectMILPSolver
+from repro.dataplane.network_service import FunctionKind, build_network_service
+
+
+@pytest.fixture
+def accepted_allocation(mixed_problem):
+    decision = DirectMILPSolver().solve(mixed_problem)
+    for name, alloc in decision.allocations.items():
+        if alloc.accepted and alloc.request.template.name == "mMTC":
+            return alloc
+    pytest.skip("no accepted mMTC slice in fixture decision")
+
+
+class TestBuildNetworkService:
+    def test_rejected_slice_raises(self, mixed_problem):
+        decision = DirectMILPSolver().solve(mixed_problem)
+        from repro.core.solution import TenantAllocation
+
+        rejected = TenantAllocation(
+            request=mixed_problem.requests[0], accepted=False, compute_unit=None
+        )
+        with pytest.raises(ValueError):
+            build_network_service(mixed_problem.requests[0], rejected)
+
+    def test_cpu_budget_split_across_vnfs(self, accepted_allocation):
+        service = build_network_service(accepted_allocation.request, accepted_allocation)
+        assert service.total_cpu_cores == pytest.approx(accepted_allocation.reserved_cpus)
+        kinds = {f.kind for f in service.virtual_functions}
+        assert kinds == {
+            FunctionKind.VNF_CORE,
+            FunctionKind.VNF_MIDDLEBOX,
+            FunctionKind.VERTICAL_SERVICE,
+        }
+
+    def test_one_radio_pnf_per_base_station(self, accepted_allocation):
+        service = build_network_service(accepted_allocation.request, accepted_allocation)
+        radio_pnfs = [f for f in service.functions if f.kind is FunctionKind.PNF_RADIO]
+        assert len(radio_pnfs) == len(accepted_allocation.paths)
+        assert all(f.cpu_cores == 0.0 for f in radio_pnfs)
+
+    def test_virtual_functions_placed_on_anchor_cu(self, accepted_allocation):
+        service = build_network_service(accepted_allocation.request, accepted_allocation)
+        for function in service.virtual_functions:
+            assert function.location == accepted_allocation.compute_unit
+
+    def test_paths_recorded(self, accepted_allocation):
+        service = build_network_service(accepted_allocation.request, accepted_allocation)
+        assert set(service.paths_by_base_station) == set(accepted_allocation.paths)
+
+    def test_function_lookup(self, accepted_allocation):
+        service = build_network_service(accepted_allocation.request, accepted_allocation)
+        name = f"{service.slice_name}:vertical-service"
+        assert service.function(name).kind is FunctionKind.VERTICAL_SERVICE
+        with pytest.raises(KeyError):
+            service.function("missing")

@@ -1,0 +1,53 @@
+"""Tests for single/double exponential smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting.exponential import (
+    DoubleExponentialForecaster,
+    SingleExponentialForecaster,
+)
+
+
+class TestSingleExponential:
+    def test_constant_series_predicted_exactly(self):
+        outcome = SingleExponentialForecaster(alpha=0.5).forecast(np.full(20, 7.0))
+        assert outcome.next_value == pytest.approx(7.0)
+        assert outcome.sigma_hat <= 0.01
+
+    def test_prediction_between_min_and_max(self):
+        rng = np.random.default_rng(2)
+        history = np.abs(rng.normal(20, 3, size=40))
+        outcome = SingleExponentialForecaster().forecast(history)
+        assert history.min() <= outcome.next_value <= history.max()
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            SingleExponentialForecaster(alpha=1.5)
+
+    def test_min_history(self):
+        forecaster = SingleExponentialForecaster()
+        assert not forecaster.can_forecast(np.array([1.0]))
+        assert forecaster.can_forecast(np.array([1.0, 2.0]))
+
+
+class TestDoubleExponential:
+    def test_captures_linear_trend(self):
+        history = np.arange(1.0, 31.0)  # strictly increasing
+        outcome = DoubleExponentialForecaster(alpha=0.5, beta=0.3).forecast(history, horizon=3)
+        # The forecast should keep increasing beyond the last observation.
+        assert outcome.predictions[0] > history[-1] * 0.95
+        assert outcome.predictions[2] > outcome.predictions[0]
+
+    def test_predictions_never_negative(self):
+        history = np.array([30.0, 20.0, 10.0, 5.0, 1.0])
+        outcome = DoubleExponentialForecaster().forecast(history, horizon=5)
+        assert all(p >= 0.0 for p in outcome.predictions)
+
+    def test_constant_series(self):
+        outcome = DoubleExponentialForecaster().forecast(np.full(20, 4.0))
+        assert outcome.next_value == pytest.approx(4.0, abs=1e-6)
+
+    def test_beta_validated(self):
+        with pytest.raises(ValueError):
+            DoubleExponentialForecaster(beta=-0.1)

@@ -1,0 +1,72 @@
+"""Tests for the multiplicative Holt-Winters forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting.holt_winters import HoltWintersForecaster
+
+
+def seasonal_series(num_days: int, season: int = 24, base: float = 20.0, noise: float = 0.0, seed: int = 0):
+    """A synthetic diurnal series: sinusoidal multiplicative seasonality."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(num_days * season)
+    seasonal = 1.0 + 0.5 * np.sin(2 * np.pi * t / season)
+    values = base * seasonal
+    if noise:
+        values = values * (1.0 + rng.normal(0, noise, size=values.size))
+    return np.clip(values, 0.1, None)
+
+
+class TestValidation:
+    def test_requires_two_seasons(self):
+        forecaster = HoltWintersForecaster(season_length=24)
+        assert forecaster.min_history == 48
+        with pytest.raises(ValueError):
+            forecaster.forecast(seasonal_series(1))
+
+    def test_season_length_validated(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(season_length=1)
+
+    def test_smoothing_params_validated(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(alpha=2.0)
+
+
+class TestForecastQuality:
+    def test_tracks_clean_seasonality(self):
+        series = seasonal_series(4)
+        forecaster = HoltWintersForecaster(season_length=24)
+        # Forecast the next full day and compare to the true seasonal shape.
+        outcome = forecaster.forecast(series, horizon=24)
+        truth = seasonal_series(5)[-24:]
+        errors = np.abs(np.array(outcome.predictions) - truth) / truth
+        assert np.mean(errors) < 0.15
+
+    def test_beats_last_value_on_seasonal_data(self):
+        from repro.forecasting.naive import NaiveForecaster
+
+        series = seasonal_series(4, noise=0.05, seed=3)
+        truth = seasonal_series(5, noise=0.0)[len(series)]
+        hw = HoltWintersForecaster(season_length=24).forecast(series).next_value
+        naive = NaiveForecaster().forecast(series).next_value
+        assert abs(hw - truth) <= abs(naive - truth)
+
+    def test_sigma_reflects_noise(self):
+        clean = HoltWintersForecaster(season_length=24).forecast(seasonal_series(4))
+        noisy = HoltWintersForecaster(season_length=24).forecast(
+            seasonal_series(4, noise=0.3, seed=5)
+        )
+        assert noisy.sigma_hat > clean.sigma_hat
+
+    def test_predictions_non_negative(self):
+        series = seasonal_series(3) * 0.01
+        outcome = HoltWintersForecaster(season_length=24).forecast(series, horizon=48)
+        assert all(p >= 0.0 for p in outcome.predictions)
+
+    def test_handles_zero_samples(self):
+        series = seasonal_series(3)
+        series[::7] = 0.0
+        outcome = HoltWintersForecaster(season_length=24).forecast(series)
+        assert np.isfinite(outcome.next_value)
+        assert 0 < outcome.sigma_hat <= 1.0

@@ -1,0 +1,57 @@
+"""Tests for RAN-slicing (PRB share) enforcement."""
+
+import pytest
+
+from repro.radio.ran_sharing import RanSlicingEnforcer
+
+
+@pytest.fixture
+def enforcer():
+    return RanSlicingEnforcer(base_station="bs-0", capacity_mhz=20.0)
+
+
+class TestGrants:
+    def test_grant_converts_bitrate_to_prbs(self, enforcer):
+        share = enforcer.grant_bitrate("slice-a", 75.0)
+        assert share.prbs == pytest.approx(50.0)
+        assert enforcer.allocated_prbs == pytest.approx(50.0)
+        assert enforcer.free_prbs == pytest.approx(50.0)
+
+    def test_grant_update_replaces_previous(self, enforcer):
+        enforcer.grant_bitrate("slice-a", 75.0)
+        enforcer.grant_bitrate("slice-a", 30.0)
+        assert enforcer.allocated_prbs == pytest.approx(20.0)
+
+    def test_over_capacity_rejected(self, enforcer):
+        enforcer.grant_bitrate("slice-a", 100.0)
+        with pytest.raises(ValueError, match="PRBs"):
+            enforcer.grant_bitrate("slice-b", 100.0)
+
+    def test_update_can_use_own_headroom(self, enforcer):
+        enforcer.grant_bitrate("slice-a", 140.0)
+        # Updating the same slice to 150 Mb/s is fine (its own share is freed).
+        enforcer.grant_bitrate("slice-a", 150.0)
+        assert enforcer.free_prbs == pytest.approx(0.0)
+
+    def test_revoke(self, enforcer):
+        enforcer.grant_bitrate("slice-a", 75.0)
+        enforcer.revoke("slice-a")
+        assert enforcer.allocated_prbs == 0.0
+        enforcer.revoke("slice-a")  # idempotent
+
+
+class TestServingTraffic:
+    def test_served_clipped_to_share(self, enforcer):
+        enforcer.grant_bitrate("slice-a", 50.0)
+        assert enforcer.served_bitrate("slice-a", 30.0) == pytest.approx(30.0)
+        assert enforcer.served_bitrate("slice-a", 80.0) == pytest.approx(50.0)
+
+    def test_unknown_slice_serves_nothing(self, enforcer):
+        assert enforcer.served_bitrate("ghost", 10.0) == 0.0
+
+    def test_utilisation_report(self, enforcer):
+        enforcer.grant_bitrate("slice-a", 50.0)
+        enforcer.grant_bitrate("slice-b", 25.0)
+        usage = enforcer.utilisation({"slice-a": 50.0, "slice-b": 10.0})
+        assert usage["slice-a"] == pytest.approx(enforcer.radio_model.bitrate_to_prbs(50.0))
+        assert usage["slice-b"] == pytest.approx(enforcer.radio_model.bitrate_to_prbs(10.0))

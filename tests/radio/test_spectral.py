@@ -1,0 +1,51 @@
+"""Tests for the spectrum / bitrate conversion model."""
+
+import pytest
+
+from repro.radio.spectral import (
+    IDEAL_RADIO_MODEL,
+    PRBS_PER_MHZ,
+    RadioModel,
+    bitrate_to_mhz,
+    mhz_to_bitrate,
+    prbs_per_mhz,
+)
+
+
+class TestRadioModel:
+    def test_ideal_eta_matches_paper(self):
+        # eta_b = 20/150 MHz per Mb/s under ideal 2x2 MIMO conditions.
+        assert IDEAL_RADIO_MODEL.eta_mhz_per_mbps() == pytest.approx(20.0 / 150.0)
+
+    def test_roundtrip(self):
+        model = RadioModel()
+        assert model.mhz_to_bitrate(model.bitrate_to_mhz(42.0)) == pytest.approx(42.0)
+
+    def test_channel_quality_scales_capacity(self):
+        degraded = RadioModel(channel_quality=0.5)
+        assert degraded.mhz_to_bitrate(20.0) == pytest.approx(75.0)
+        assert degraded.bitrate_to_mhz(75.0) == pytest.approx(20.0)
+
+    def test_prb_conversion(self):
+        model = RadioModel()
+        # 150 Mb/s fills the whole 100-PRB carrier.
+        assert model.bitrate_to_prbs(150.0) == pytest.approx(100.0)
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(channel_quality=0.0)
+        with pytest.raises(ValueError):
+            RadioModel(channel_quality=1.5)
+
+    def test_negative_bitrate_rejected(self):
+        with pytest.raises(ValueError):
+            IDEAL_RADIO_MODEL.bitrate_to_mhz(-1.0)
+
+
+class TestModuleHelpers:
+    def test_constants(self):
+        assert prbs_per_mhz() == PRBS_PER_MHZ == 5.0
+
+    def test_wrappers_use_ideal_model(self):
+        assert bitrate_to_mhz(150.0) == pytest.approx(20.0)
+        assert mhz_to_bitrate(20.0) == pytest.approx(150.0)

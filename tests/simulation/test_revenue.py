@@ -1,0 +1,93 @@
+"""Tests for revenue accounting and SLA-violation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.slices import EMBB_TEMPLATE, SliceRequest
+from repro.simulation.revenue import RevenueAccountant
+
+
+def request(name="s", duration=10, penalty=1.0):
+    return SliceRequest(
+        name=name, template=EMBB_TEMPLATE, duration_epochs=duration, penalty_factor=penalty
+    )
+
+
+class TestRewardAccrual:
+    def test_reward_spread_over_lifetime(self):
+        accountant = RevenueAccountant(num_base_stations=2)
+        slice_request = request(duration=10)
+        for epoch in range(10):
+            accountant.record_epoch(epoch, [slice_request], {}, {})
+        assert accountant.report.total_reward == pytest.approx(slice_request.reward)
+        assert accountant.report.net_revenue == pytest.approx(slice_request.reward)
+
+    def test_no_active_slices_no_revenue(self):
+        accountant = RevenueAccountant(num_base_stations=2)
+        revenue = accountant.record_epoch(0, [], {}, {})
+        assert revenue.net == 0.0
+        assert revenue.active_slices == 0
+
+
+class TestPenalties:
+    def test_persistent_ten_percent_shortfall_costs_ten_percent(self):
+        slice_request = request(duration=10, penalty=1.0)
+        accountant = RevenueAccountant(num_base_stations=2)
+        shortfall = 0.1 * slice_request.sla_mbps
+        offered = {("s", "bs-0"): np.full(4, 30.0), ("s", "bs-1"): np.full(4, 30.0)}
+        unserved = {
+            ("s", "bs-0"): np.full(4, shortfall),
+            ("s", "bs-1"): np.full(4, shortfall),
+        }
+        for epoch in range(10):
+            accountant.record_epoch(epoch, [slice_request], offered, unserved)
+        report = accountant.report
+        assert report.total_penalty == pytest.approx(0.1 * slice_request.reward)
+        assert report.net_revenue == pytest.approx(0.9 * slice_request.reward)
+
+    def test_penalty_scales_with_penalty_factor(self):
+        offered = {("s", "bs-0"): np.full(2, 30.0)}
+        unserved = {("s", "bs-0"): np.full(2, 5.0)}
+        penalties = {}
+        for m in (1.0, 4.0):
+            accountant = RevenueAccountant(num_base_stations=1)
+            accountant.record_epoch(0, [request(penalty=m)], offered, unserved)
+            penalties[m] = accountant.report.total_penalty
+        assert penalties[4.0] == pytest.approx(4.0 * penalties[1.0])
+
+    def test_no_unserved_traffic_no_penalty(self):
+        accountant = RevenueAccountant(num_base_stations=1)
+        offered = {("s", "bs-0"): np.full(4, 30.0)}
+        accountant.record_epoch(0, [request()], offered, {})
+        assert accountant.report.total_penalty == 0.0
+
+
+class TestViolationStatistics:
+    def test_probability_counts_samples(self):
+        accountant = RevenueAccountant(num_base_stations=1)
+        offered = {("s", "bs-0"): np.array([10.0, 10.0, 10.0, 10.0])}
+        unserved = {("s", "bs-0"): np.array([0.0, 2.0, 0.0, 0.0])}
+        accountant.record_epoch(0, [request()], offered, unserved)
+        report = accountant.report
+        assert report.total_samples == 4
+        assert report.violated_samples == 1
+        assert report.violation_probability == pytest.approx(0.25)
+        assert report.mean_drop_fraction == pytest.approx(0.2)
+        assert report.max_drop_fraction == pytest.approx(0.2)
+
+    def test_summary_keys(self):
+        accountant = RevenueAccountant(num_base_stations=1)
+        accountant.record_epoch(0, [request()], {}, {})
+        assert set(accountant.report.summary()) == {
+            "net_revenue",
+            "total_reward",
+            "total_penalty",
+            "violation_probability",
+            "mean_drop_fraction",
+            "max_drop_fraction",
+            "epochs",
+        }
+
+    def test_invalid_num_base_stations(self):
+        with pytest.raises(ValueError):
+            RevenueAccountant(num_base_stations=0)

@@ -1,0 +1,125 @@
+"""Tests for scenario construction (Fig. 5 / Fig. 6 / Fig. 8 set-ups)."""
+
+import pytest
+
+from repro.core.slices import EMBB_TEMPLATE, MMTC_TEMPLATE
+from repro.simulation.scenario import (
+    Scenario,
+    SliceWorkload,
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    testbed_scenario as make_testbed_scenario,
+)
+from repro.traffic.patterns import DemandSpec
+from tests.conftest import build_tiny_topology
+
+
+class TestScenarioValidation:
+    def test_requires_workloads(self):
+        with pytest.raises(ValueError):
+            Scenario(name="empty", topology=build_tiny_topology(), workloads=())
+
+    def test_unique_names_required(self):
+        workload = SliceWorkload(
+            request=__import__("repro.core.slices", fromlist=["SliceRequest"]).SliceRequest(
+                name="dup", template=EMBB_TEMPLATE
+            ),
+            demand=DemandSpec(),
+        )
+        with pytest.raises(ValueError):
+            Scenario(
+                name="dup", topology=build_tiny_topology(), workloads=(workload, workload)
+            )
+
+    def test_forecast_mode_validated(self):
+        workload = SliceWorkload(
+            request=__import__("repro.core.slices", fromlist=["SliceRequest"]).SliceRequest(
+                name="a", template=EMBB_TEMPLATE
+            ),
+            demand=DemandSpec(),
+        )
+        with pytest.raises(ValueError):
+            Scenario(
+                name="x",
+                topology=build_tiny_topology(),
+                workloads=(workload,),
+                forecast_mode="psychic",
+            )
+
+
+class TestHomogeneousScenario:
+    def test_tenant_count_and_template(self):
+        scenario = homogeneous_scenario(
+            "romanian",
+            EMBB_TEMPLATE,
+            num_tenants=5,
+            mean_load_fraction=0.3,
+            num_base_stations=6,
+            seed=1,
+        )
+        assert len(scenario.workloads) == 5
+        assert all(w.request.template is EMBB_TEMPLATE for w in scenario.workloads)
+        assert all(w.demand.mean_fraction == 0.3 for w in scenario.workloads)
+        assert scenario.forecast_mode == "oracle"
+
+    def test_accepts_prebuilt_topology(self, tiny_topology):
+        scenario = homogeneous_scenario(
+            tiny_topology, EMBB_TEMPLATE, num_tenants=2, mean_load_fraction=0.5
+        )
+        assert scenario.topology is tiny_topology
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(KeyError):
+            homogeneous_scenario("atlantis", EMBB_TEMPLATE, 2, 0.5)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            homogeneous_scenario("romanian", EMBB_TEMPLATE, 2, 1.5, num_base_stations=4)
+
+
+class TestHeterogeneousScenario:
+    def test_beta_split(self):
+        scenario = heterogeneous_scenario(
+            "romanian",
+            EMBB_TEMPLATE,
+            MMTC_TEMPLATE,
+            num_tenants=8,
+            fraction_b=0.25,
+            num_base_stations=6,
+            seed=1,
+        )
+        types = [w.request.template.name for w in scenario.workloads]
+        assert types.count("mMTC") == 2
+        assert types.count("eMBB") == 6
+
+    @pytest.mark.parametrize("beta,expected_b", [(0.0, 0), (1.0, 6)])
+    def test_beta_extremes(self, beta, expected_b):
+        scenario = heterogeneous_scenario(
+            "romanian",
+            EMBB_TEMPLATE,
+            MMTC_TEMPLATE,
+            num_tenants=6,
+            fraction_b=beta,
+            num_base_stations=6,
+            seed=1,
+        )
+        types = [w.request.template.name for w in scenario.workloads]
+        assert types.count("mMTC") == expected_b
+
+
+class TestTestbedScenario:
+    def test_arrival_schedule(self):
+        scenario = make_testbed_scenario()
+        assert len(scenario.workloads) == 9
+        arrivals = {w.name: w.request.arrival_epoch for w in scenario.workloads}
+        assert arrivals["uRLLC1"] == 0
+        assert arrivals["mMTC1"] == 6
+        assert arrivals["eMBB3"] == 16
+        assert scenario.forecast_mode == "online"
+        assert scenario.record_usage
+
+    def test_demand_parameters(self):
+        scenario = make_testbed_scenario()
+        for workload in scenario.workloads:
+            assert workload.demand.mean_fraction == 0.5
+            assert workload.demand.relative_std == 0.1

@@ -1,0 +1,87 @@
+"""Tests for data-plane elements (base stations, links, compute units)."""
+
+import pytest
+
+from repro.topology.elements import (
+    BaseStation,
+    ComputeUnit,
+    ComputeUnitKind,
+    DomainCapacities,
+    LinkTechnology,
+    TransportLink,
+)
+
+
+class TestBaseStation:
+    def test_capacity_mbps_ideal_lte(self):
+        bs = BaseStation(name="bs", capacity_mhz=20.0)
+        # 20 MHz at 7.5 Mb/s per MHz reproduces the paper's 150 Mb/s cell.
+        assert bs.capacity_mbps == pytest.approx(150.0)
+
+    def test_capacity_prbs(self):
+        bs = BaseStation(name="bs", capacity_mhz=20.0)
+        assert bs.capacity_prbs == pytest.approx(100.0)
+
+    def test_mhz_for_bitrate_matches_eta(self):
+        bs = BaseStation(name="bs", capacity_mhz=20.0)
+        # eta_b = 20 / 150 MHz per Mb/s.
+        assert bs.mhz_for_bitrate(150.0) == pytest.approx(20.0)
+        assert bs.mhz_for_bitrate(1.0) == pytest.approx(20.0 / 150.0)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            BaseStation(name="bs", capacity_mhz=0.0)
+
+    def test_rejects_negative_bitrate(self):
+        bs = BaseStation(name="bs", capacity_mhz=20.0)
+        with pytest.raises(ValueError):
+            bs.mhz_for_bitrate(-1.0)
+
+
+class TestComputeUnit:
+    def test_defaults(self):
+        cu = ComputeUnit(name="edge", capacity_cpus=16.0)
+        assert cu.kind is ComputeUnitKind.EDGE
+        assert cu.access_latency_ms == 0.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ComputeUnit(name="edge", capacity_cpus=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            ComputeUnit(name="core", capacity_cpus=10.0, access_latency_ms=-1.0)
+
+
+class TestTransportLink:
+    def test_key_is_canonical(self):
+        link = TransportLink(endpoint_a="b", endpoint_b="a", capacity_mbps=100.0)
+        assert link.key == ("a", "b")
+
+    def test_other_endpoint(self):
+        link = TransportLink(endpoint_a="a", endpoint_b="b", capacity_mbps=100.0)
+        assert link.other_endpoint("a") == "b"
+        assert link.other_endpoint("b") == "a"
+        with pytest.raises(KeyError):
+            link.other_endpoint("c")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TransportLink(endpoint_a="a", endpoint_b="a", capacity_mbps=100.0)
+
+    def test_overhead_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TransportLink(endpoint_a="a", endpoint_b="b", capacity_mbps=100.0, overhead=0.9)
+
+    def test_propagation_delay_by_technology(self):
+        assert LinkTechnology.FIBER.propagation_us_per_km == 4.0
+        assert LinkTechnology.COPPER.propagation_us_per_km == 4.0
+        assert LinkTechnology.WIRELESS.propagation_us_per_km == 5.0
+
+
+class TestDomainCapacities:
+    def test_copy_is_independent(self):
+        caps = DomainCapacities(radio_mhz={"bs": 20.0})
+        clone = caps.copy()
+        clone.radio_mhz["bs"] = 40.0
+        assert caps.radio_mhz["bs"] == 20.0

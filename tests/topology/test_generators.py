@@ -1,0 +1,98 @@
+"""Tests for the synthetic operator-topology generator."""
+
+import math
+
+import pytest
+
+from repro.topology.elements import LinkTechnology
+from repro.topology.generators import OperatorProfile, generate_operator_topology
+from repro.topology.operators import ROMANIAN_PROFILE
+
+
+def small_profile(**overrides):
+    base = dict(
+        name="test-op",
+        num_base_stations=12,
+        num_aggregation_switches=3,
+        num_hubs=1,
+        bs_degree_choices=(1, 2),
+        bs_degree_weights=(0.5, 0.5),
+        bs_capacity_mhz_range=(20.0, 20.0),
+        city_radius_km=5.0,
+        access_technology_mix=((LinkTechnology.FIBER, 1.0),),
+        access_capacity_mbps={LinkTechnology.FIBER: (1000.0, 2000.0)},
+        aggregation_capacity_mbps=(5000.0, 5000.0),
+        aggregation_technology=LinkTechnology.FIBER,
+        hub_capacity_mbps=(10000.0, 10000.0),
+        hub_technology=LinkTechnology.FIBER,
+    )
+    base.update(overrides)
+    return OperatorProfile(**base)
+
+
+class TestProfileValidation:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            small_profile(bs_degree_weights=(0.5, 0.6))
+
+    def test_technology_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            small_profile(
+                access_technology_mix=((LinkTechnology.FIBER, 0.5),),
+            )
+
+    def test_positive_counts_required(self):
+        with pytest.raises(ValueError):
+            small_profile(num_base_stations=0)
+
+
+class TestGeneration:
+    def test_counts_match_profile(self):
+        topo = generate_operator_topology(small_profile(), seed=1)
+        assert len(topo.base_station_names) == 12
+        assert len(topo.compute_unit_names) == 2
+        topo.validate()
+
+    def test_deterministic_given_seed(self):
+        a = generate_operator_topology(small_profile(), seed=5)
+        b = generate_operator_topology(small_profile(), seed=5)
+        assert a.summary() == b.summary()
+
+    def test_different_seed_differs(self):
+        a = generate_operator_topology(small_profile(), seed=5)
+        b = generate_operator_topology(small_profile(), seed=6)
+        assert a.summary() != b.summary()
+
+    def test_edge_compute_scaled_with_bs_count(self):
+        topo = generate_operator_topology(small_profile(), seed=1)
+        edge = topo.compute_unit("edge-cu")
+        core = topo.compute_unit("core-cu")
+        assert edge.capacity_cpus == pytest.approx(20.0 * 12)
+        assert core.capacity_cpus == pytest.approx(edge.capacity_cpus * 5.0)
+        assert core.access_latency_ms == pytest.approx(20.0)
+
+    def test_every_bs_within_city_radius(self):
+        profile = small_profile(city_radius_km=5.0)
+        topo = generate_operator_topology(profile, seed=2)
+        for bs in topo.base_stations:
+            assert math.hypot(*bs.position_km) <= 5.0 + 1e-6
+
+
+class TestScaledProfile:
+    def test_scaled_preserves_bs_per_agg_capacity_ratio(self):
+        scaled = ROMANIAN_PROFILE.scaled(20)
+        original_per_agg = (
+            ROMANIAN_PROFILE.num_base_stations / ROMANIAN_PROFILE.num_aggregation_switches
+        )
+        scaled_per_agg = scaled.num_base_stations / scaled.num_aggregation_switches
+        original_ratio = original_per_agg / ROMANIAN_PROFILE.hub_capacity_mbps[0]
+        scaled_ratio = scaled_per_agg / scaled.hub_capacity_mbps[0]
+        assert scaled_ratio == pytest.approx(original_ratio, rel=1e-6)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ROMANIAN_PROFILE.scaled(0)
+
+    def test_scaled_keeps_radio_capacity(self):
+        scaled = ROMANIAN_PROFILE.scaled(20)
+        assert scaled.bs_capacity_mhz_range == ROMANIAN_PROFILE.bs_capacity_mhz_range

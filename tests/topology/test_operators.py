@@ -1,0 +1,72 @@
+"""Tests for the three operator presets and the Section 5 testbed topology."""
+
+import pytest
+
+from repro.topology.operators import (
+    ITALIAN_PROFILE,
+    ROMANIAN_PROFILE,
+    SWISS_PROFILE,
+    italian_topology,
+    romanian_topology,
+    swiss_topology,
+    testbed_topology as build_testbed_topology,
+)
+from repro.topology.paths import compute_path_sets
+
+
+class TestProfiles:
+    def test_base_station_counts_match_paper(self):
+        assert ROMANIAN_PROFILE.num_base_stations == 198
+        assert SWISS_PROFILE.num_base_stations == 197
+        assert ITALIAN_PROFILE.num_base_stations == 200
+
+    def test_italian_clusters_have_more_spectrum(self):
+        assert ITALIAN_PROFILE.bs_capacity_mhz_range[0] >= 80.0
+        assert ROMANIAN_PROFILE.bs_capacity_mhz_range == (20.0, 20.0)
+
+    def test_swiss_has_smaller_aggregation_capacity(self):
+        assert SWISS_PROFILE.hub_capacity_mbps[1] < ROMANIAN_PROFILE.hub_capacity_mbps[0]
+
+
+class TestReducedTopologies:
+    @pytest.mark.parametrize(
+        "factory", [romanian_topology, swiss_topology, italian_topology]
+    )
+    def test_reduced_generation(self, factory):
+        topo = factory(num_base_stations=10, seed=1)
+        assert len(topo.base_station_names) == 10
+        topo.validate()
+
+    def test_path_redundancy_ordering(self):
+        # The Romanian network is multi-homed, the Italian one mostly
+        # single-homed: path redundancy must reflect that (6.6 vs 1.6 in the
+        # paper; the ordering is what matters here).
+        romanian = compute_path_sets(romanian_topology(num_base_stations=20, seed=2), k=8)
+        italian = compute_path_sets(italian_topology(num_base_stations=20, seed=2), k=8)
+        assert romanian.mean_paths_per_pair() > italian.mean_paths_per_pair()
+
+    def test_edge_compute_follows_20_per_bs_rule(self):
+        topo = romanian_topology(num_base_stations=10, seed=1)
+        assert topo.compute_unit("edge-cu").capacity_cpus == pytest.approx(200.0)
+
+
+class TestTestbedTopology:
+    def test_matches_table2(self):
+        topo = build_testbed_topology()
+        assert len(topo.base_station_names) == 2
+        assert topo.compute_unit("edge-cu").capacity_cpus == 16.0
+        assert topo.compute_unit("core-cu").capacity_cpus == 64.0
+        assert topo.compute_unit("core-cu").access_latency_ms == pytest.approx(28.0)
+        for link in topo.links:
+            assert link.capacity_mbps == pytest.approx(1000.0)
+
+    def test_urllc_can_only_reach_edge(self):
+        # The emulated wide-area backhaul in front of the core CU violates the
+        # 5 ms uRLLC latency budget; the edge CU does not.
+        topo = build_testbed_topology()
+        paths = compute_path_sets(topo, k=2)
+        edge_delay = paths.paths("bs-0", "edge-cu")[0].delay_ms
+        core_delay = paths.paths("bs-0", "core-cu")[0].delay_ms
+        assert edge_delay < 5.0 < core_delay
+        # ...but mMTC/eMBB (30 ms tolerance) can still be anchored at the core.
+        assert core_delay < 30.0

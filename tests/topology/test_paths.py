@@ -1,0 +1,79 @@
+"""Tests for candidate-path enumeration (the P_{b,c} sets)."""
+
+import pytest
+
+from repro.topology.elements import TransportLink, TransportSwitch
+from repro.topology.paths import compute_path_sets, k_shortest_paths
+from tests.conftest import build_tiny_topology
+
+
+class TestKShortestPaths:
+    def test_single_path_star(self):
+        topo = build_tiny_topology()
+        paths = k_shortest_paths(topo, "bs-0", "edge-cu", k=3)
+        assert len(paths) == 1
+        assert paths[0].nodes == ("bs-0", "sw", "edge-cu")
+        assert paths[0].hop_count == 2
+
+    def test_k_must_be_positive(self):
+        topo = build_tiny_topology()
+        with pytest.raises(ValueError):
+            k_shortest_paths(topo, "bs-0", "edge-cu", k=0)
+
+    def test_unknown_weight_rejected(self):
+        topo = build_tiny_topology()
+        with pytest.raises(ValueError):
+            k_shortest_paths(topo, "bs-0", "edge-cu", k=1, weight="hops-and-delay")
+
+    def test_multiple_paths_with_redundant_switch(self):
+        topo = build_tiny_topology()
+        topo.add_switch(TransportSwitch(name="sw2"))
+        topo.add_link(TransportLink(endpoint_a="bs-0", endpoint_b="sw2", capacity_mbps=500.0))
+        topo.add_link(TransportLink(endpoint_a="sw2", endpoint_b="edge-cu", capacity_mbps=500.0))
+        paths = k_shortest_paths(topo, "bs-0", "edge-cu", k=4)
+        assert len(paths) == 2
+        # Paths are ordered by increasing delay.
+        assert paths[0].delay_us <= paths[1].delay_us
+
+    def test_bottleneck_capacity(self):
+        topo = build_tiny_topology(link_capacity_mbps=1000.0)
+        topo.add_switch(TransportSwitch(name="sw2"))
+        topo.add_link(TransportLink(endpoint_a="bs-0", endpoint_b="sw2", capacity_mbps=200.0))
+        topo.add_link(TransportLink(endpoint_a="sw2", endpoint_b="edge-cu", capacity_mbps=800.0))
+        paths = k_shortest_paths(topo, "bs-0", "edge-cu", k=4)
+        slower = [p for p in paths if "sw2" in p.nodes][0]
+        assert slower.capacity_mbps == pytest.approx(200.0)
+
+    def test_core_cu_latency_added(self):
+        topo = build_tiny_topology(core_latency_ms=20.0)
+        edge = k_shortest_paths(topo, "bs-0", "edge-cu", k=1)[0]
+        core = k_shortest_paths(topo, "bs-0", "core-cu", k=1)[0]
+        assert core.delay_ms == pytest.approx(edge.delay_ms + 20.0, rel=0.05)
+
+
+class TestPathSet:
+    def test_all_pairs_present(self, tiny_topology):
+        path_set = compute_path_sets(tiny_topology, k=2)
+        assert set(path_set.base_stations()) == {"bs-0", "bs-1"}
+        assert set(path_set.compute_units()) == {"edge-cu", "core-cu"}
+        assert len(path_set.paths("bs-0", "edge-cu")) == 1
+
+    def test_len_counts_paths(self, tiny_topology):
+        path_set = compute_path_sets(tiny_topology, k=2)
+        assert len(path_set) == 4  # 2 BSs x 2 CUs x 1 path
+
+    def test_mean_paths_per_pair(self, tiny_topology):
+        path_set = compute_path_sets(tiny_topology, k=2)
+        assert path_set.mean_paths_per_pair() == pytest.approx(1.0)
+
+    def test_paths_from_and_to(self, tiny_topology):
+        path_set = compute_path_sets(tiny_topology, k=2)
+        assert len(path_set.paths_from("bs-0")) == 2
+        assert len(path_set.paths_to("edge-cu")) == 2
+
+    def test_uses_link(self, tiny_topology):
+        path_set = compute_path_sets(tiny_topology, k=2)
+        path = path_set.paths("bs-0", "edge-cu")[0]
+        assert path.uses_link(("sw", "edge-cu"))
+        assert path.uses_link(("edge-cu", "sw"))
+        assert not path.uses_link(("sw", "core-cu"))

@@ -1,0 +1,57 @@
+"""Tests for the template-driven demand factories."""
+
+import pytest
+
+from repro.core.slices import EMBB_TEMPLATE, MMTC_TEMPLATE, SliceRequest
+from repro.traffic.demand import DeterministicDemand, GaussianDemand
+from repro.traffic.patterns import DemandSpec, demand_for_request, demand_for_template
+from repro.traffic.seasonal import SeasonalDemand
+
+
+class TestDemandSpec:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            DemandSpec(mean_fraction=1.5)
+        with pytest.raises(ValueError):
+            DemandSpec(relative_std=-0.1)
+
+
+class TestDemandForTemplate:
+    def test_embb_is_gaussian(self):
+        demand = demand_for_template(EMBB_TEMPLATE, DemandSpec(mean_fraction=0.5))
+        assert isinstance(demand, GaussianDemand)
+        assert demand.mean_mbps(0) == pytest.approx(25.0)
+
+    def test_mmtc_is_deterministic(self):
+        # Table 1: the mMTC template has sigma = 0.
+        demand = demand_for_template(MMTC_TEMPLATE, DemandSpec(mean_fraction=0.5, relative_std=0.5))
+        assert isinstance(demand, DeterministicDemand)
+        assert demand.std_mbps(0) == 0.0
+
+    def test_seasonal_flag(self):
+        demand = demand_for_template(
+            EMBB_TEMPLATE, DemandSpec(mean_fraction=0.5, seasonal=True)
+        )
+        assert isinstance(demand, SeasonalDemand)
+
+    def test_labels_give_independent_streams(self):
+        spec = DemandSpec(mean_fraction=0.5, relative_std=0.3)
+        a = demand_for_template(EMBB_TEMPLATE, spec, seed=1, label="a")
+        b = demand_for_template(EMBB_TEMPLATE, spec, seed=1, label="b")
+        assert a.sample_epoch(0, 12).samples_mbps != b.sample_epoch(0, 12).samples_mbps
+
+    def test_same_label_reproducible(self):
+        spec = DemandSpec(mean_fraction=0.5, relative_std=0.3)
+        a = demand_for_template(EMBB_TEMPLATE, spec, seed=1, label="a")
+        b = demand_for_template(EMBB_TEMPLATE, spec, seed=1, label="a")
+        assert a.sample_epoch(0, 12).samples_mbps == b.sample_epoch(0, 12).samples_mbps
+
+
+class TestDemandForRequest:
+    def test_uses_request_name_as_label(self):
+        request_a = SliceRequest(name="tenant-a", template=EMBB_TEMPLATE)
+        request_b = SliceRequest(name="tenant-b", template=EMBB_TEMPLATE)
+        spec = DemandSpec(mean_fraction=0.4, relative_std=0.2)
+        a = demand_for_request(request_a, spec, seed=3)
+        b = demand_for_request(request_b, spec, seed=3)
+        assert a.sample_epoch(0, 6).samples_mbps != b.sample_epoch(0, 6).samples_mbps

@@ -1,0 +1,67 @@
+"""Tests for the seeded random-number helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import choice_without_replacement, derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).normal(size=10)
+        b = make_rng(42).normal(size=10)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).normal(size=10)
+        b = make_rng(2).normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_default_seed_is_reproducible(self):
+        assert np.allclose(make_rng(None).normal(size=5), make_rng(None).normal(size=5))
+
+
+class TestSpawnRngs:
+    def test_spawned_streams_are_independent(self):
+        rngs = spawn_rngs(7, 3)
+        draws = [rng.normal(size=8) for rng in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_is_reproducible(self):
+        first = [rng.normal(size=4) for rng in spawn_rngs(7, 2)]
+        second = [rng.normal(size=4) for rng in spawn_rngs(7, 2)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "tenant-a", 5) == derive_seed(3, "tenant-a", 5)
+
+    def test_labels_matter(self):
+        assert derive_seed(3, "tenant-a") != derive_seed(3, "tenant-b")
+
+    def test_base_seed_matters(self):
+        assert derive_seed(3, "x") != derive_seed(4, "x")
+
+
+class TestChoiceWithoutReplacement:
+    def test_preserves_order_and_uniqueness(self):
+        rng = make_rng(0)
+        items = list(range(20))
+        chosen = choice_without_replacement(rng, items, 5)
+        assert len(chosen) == 5
+        assert chosen == sorted(chosen)
+        assert len(set(chosen)) == 5
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(make_rng(0), [1, 2], 3)

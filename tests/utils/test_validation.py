@@ -1,0 +1,48 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_probability,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            ensure_positive(value, "x")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.1, "x")
+
+
+class TestEnsureInRange:
+    def test_accepts_bounds(self):
+        assert ensure_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert ensure_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.1, 0.0, 1.0, "x")
+
+
+class TestEnsureProbability:
+    def test_accepts_half(self):
+        assert ensure_probability(0.5, "p") == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            ensure_probability(2.0, "p")
