@@ -21,7 +21,6 @@ iterations.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 import numpy as np
 from scipy import optimize, sparse
@@ -36,13 +35,69 @@ from repro.core.solution import (
 )
 
 
-@dataclass
-class _Cut:
-    """One Benders cut: coeff' x (+ theta) >= rhs."""
+class _MasterState:
+    """Incremental Benders master: static skeleton plus a growing cut matrix.
 
-    coefficients: np.ndarray
-    rhs: float
-    is_optimality: bool
+    The master MILP of Problem 5 changes between iterations only by the cuts
+    appended at the bottom, so the per-problem structure -- the objective over
+    ``(x, theta)``, the bounds/integrality vectors and the hstacked
+    path-selection block -- is assembled exactly once, and the accumulated
+    cuts live in one growing CSR matrix (one ``vstack`` of a single row per
+    iteration) instead of one :class:`scipy.optimize.LinearConstraint` per
+    cut per solve.
+    """
+
+    def __init__(self, problem: ACRRProblem, cost_x: np.ndarray, theta_lower: float):
+        n = problem.num_items
+        self.num_items = n
+        self.cost = np.concatenate([cost_x, [1.0]])
+        self.lower = np.concatenate([np.zeros(n), [theta_lower]])
+        self.upper = np.concatenate([np.ones(n), [np.inf]])
+        self.integrality = np.concatenate([np.ones(n), [0.0]])
+
+        selection = problem.selection_block()
+        self.selection_constraint: optimize.LinearConstraint | None = None
+        if selection.num_rows:
+            sel_matrix = sparse.hstack(
+                [selection.a_x, sparse.csr_matrix((selection.num_rows, 1))],
+                format="csr",
+            )
+            self.selection_constraint = optimize.LinearConstraint(
+                sel_matrix, selection.lower, selection.upper
+            )
+
+        self._cut_matrix: sparse.csr_matrix | None = None
+        self._cut_rhs: list[float] = []
+
+    @property
+    def num_cuts(self) -> int:
+        return len(self._cut_rhs)
+
+    def add_cut(self, coefficients: np.ndarray, rhs: float, is_optimality: bool) -> None:
+        """Append one cut ``coeff' x (+ theta) >= rhs`` to the pool."""
+        theta_coeff = 1.0 if is_optimality else 0.0
+        row = sparse.csr_matrix(
+            np.concatenate([coefficients, [theta_coeff]]).reshape(1, -1)
+        )
+        if self._cut_matrix is None:
+            self._cut_matrix = row
+        else:
+            self._cut_matrix = sparse.vstack([self._cut_matrix, row], format="csr")
+        self._cut_rhs.append(rhs)
+
+    def constraints(self) -> list[optimize.LinearConstraint]:
+        constraints: list[optimize.LinearConstraint] = []
+        if self.selection_constraint is not None:
+            constraints.append(self.selection_constraint)
+        if self._cut_matrix is not None:
+            constraints.append(
+                optimize.LinearConstraint(
+                    self._cut_matrix,
+                    lb=np.asarray(self._cut_rhs),
+                    ub=np.inf,
+                )
+            )
+        return constraints
 
 
 class BendersSolver:
@@ -83,11 +138,10 @@ class BendersSolver:
         """Run Algorithm 1 and return the resulting orchestration decision."""
         start = time.perf_counter()
         slave = SlaveProblem(problem)
-        n = problem.num_items
         cost_x = problem.objective_x()
         theta_lower = slave.objective_lower_bound()
 
-        cuts: list[_Cut] = []
+        master_state = _MasterState(problem, cost_x, theta_lower)
         upper_bound = float("inf")
         lower_bound = -float("inf")
         best_x: np.ndarray | None = None
@@ -98,7 +152,7 @@ class BendersSolver:
 
         for iteration in range(1, self.max_iterations + 1):
             iterations = iteration
-            master = self._solve_master(problem, cost_x, theta_lower, cuts)
+            master = self._solve_master(master_state)
             if master is None:
                 raise InfeasibleProblemError(
                     "Benders master problem became infeasible; the committed "
@@ -115,11 +169,11 @@ class BendersSolver:
                     best_x = x_candidate
                     best_z = outcome.z
                 coeff, rhs = slave.cut_from_multipliers(outcome.duals)
-                cuts.append(_Cut(coefficients=coeff, rhs=rhs, is_optimality=True))
+                master_state.add_cut(coeff, rhs, is_optimality=True)
                 optimality_cuts += 1
             else:
                 coeff, rhs = slave.cut_from_multipliers(outcome.ray)
-                cuts.append(_Cut(coefficients=coeff, rhs=rhs, is_optimality=False))
+                master_state.add_cut(coeff, rhs, is_optimality=False)
                 feasibility_cuts += 1
 
             if np.isfinite(upper_bound):
@@ -157,50 +211,20 @@ class BendersSolver:
 
     # ------------------------------------------------------------------ #
     def _solve_master(
-        self,
-        problem: ACRRProblem,
-        cost_x: np.ndarray,
-        theta_lower: float,
-        cuts: list[_Cut],
+        self, master: _MasterState
     ) -> tuple[np.ndarray, float, float] | None:
         """Solve the current master MILP; returns (x, theta, objective)."""
-        n = problem.num_items
-        num_vars = n + 1  # x plus the surrogate theta
-        cost = np.concatenate([cost_x, [1.0]])
-
-        constraints: list[optimize.LinearConstraint] = []
-        selection = problem.selection_block()
-        if selection.num_rows:
-            sel_matrix = sparse.hstack(
-                [selection.a_x, sparse.csr_matrix((selection.num_rows, 1))],
-                format="csr",
-            )
-            constraints.append(
-                optimize.LinearConstraint(sel_matrix, selection.lower, selection.upper)
-            )
-        for cut in cuts:
-            theta_coeff = 1.0 if cut.is_optimality else 0.0
-            row = sparse.csr_matrix(
-                np.concatenate([cut.coefficients, [theta_coeff]]).reshape(1, -1)
-            )
-            constraints.append(
-                optimize.LinearConstraint(row, lb=cut.rhs, ub=np.inf)
-            )
-
-        lower = np.concatenate([np.zeros(n), [theta_lower]])
-        upper = np.concatenate([np.ones(n), [np.inf]])
-        integrality = np.concatenate([np.ones(n), [0.0]])
-
         result = solve_milp(
-            cost=cost,
-            constraints=constraints,
-            integrality=integrality,
-            lower=lower,
-            upper=upper,
+            cost=master.cost,
+            constraints=master.constraints(),
+            integrality=master.integrality,
+            lower=master.lower,
+            upper=master.upper,
             time_limit_s=self.master_time_limit_s,
         )
         if not result.success:
             return None
+        n = master.num_items
         x = np.round(result.values[:n])
         theta = float(result.values[n])
         return x, theta, float(result.objective)

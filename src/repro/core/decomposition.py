@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
-from repro.core.lpsolver import LPSolution, infeasibility_certificate, solve_lp
+from repro.core.lpsolver import LPSolution, Phase1Problem, solve_lp
 from repro.core.problem import ACRRProblem
 
 #: Numerical tolerance below which a phase-1 optimum counts as "feasible".
@@ -71,6 +71,9 @@ class SlaveProblem:
         self.d: np.ndarray = np.concatenate([problem.objective_y(), np.zeros(n)])
         self.u_lower = np.zeros(2 * n)
         self.u_upper = np.full(2 * n, np.inf)
+        # Phase-1 certificate problem, extended once on the first infeasible
+        # evaluate; later certificates only swap the right-hand side.
+        self._phase1: Phase1Problem | None = None
 
     # ------------------------------------------------------------------ #
     def rhs(self, x: np.ndarray) -> np.ndarray:
@@ -107,9 +110,9 @@ class SlaveProblem:
                 infeasibility=0.0,
                 ray=np.zeros(len(b)),
             )
-        infeasibility, ray = infeasibility_certificate(
-            self.g_matrix, b, self.u_lower, self.u_upper
-        )
+        if self._phase1 is None:
+            self._phase1 = Phase1Problem(self.g_matrix, self.u_lower, self.u_upper)
+        infeasibility, ray = self._phase1.certificate(b)
         if infeasibility <= FEASIBILITY_TOLERANCE:
             # The LP failed for numerical reasons but is essentially feasible;
             # retry the certificate solution as a (conservative) outcome.

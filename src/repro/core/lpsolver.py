@@ -80,31 +80,49 @@ def solve_lp(
     )
 
 
-def infeasibility_certificate(
-    a_ub: sparse.csr_matrix,
-    b_ub: np.ndarray,
-    lower: np.ndarray,
-    upper: np.ndarray,
-) -> tuple[float, np.ndarray]:
-    """Phase-1 LP: measure infeasibility and return a Farkas-style ray.
+class Phase1Problem:
+    """Parametric phase-1 feasibility LP with a precomputed extended matrix.
 
-    Solves ``min 1's  s.t.  A u - s <= b, s >= 0, lower <= u <= upper``.  The
-    optimal value is 0 exactly when the original system is feasible.  When it
-    is positive, the dual multipliers of the relaxed rows form a certificate
-    ``mu >= 0`` with ``b' mu < 0`` on any violated combination; used as the
-    "extreme ray" of the dual slave problem in Algorithm 1 / Algorithm 3.
+    The phase-1 system ``min 1's  s.t.  A u - s <= b, s >= 0, lower <= u <=
+    upper`` only depends on the right-hand side ``b`` between solves, so the
+    extended matrix ``[A | -I]``, the cost vector and the extended bounds are
+    assembled once here and reused for every certificate (see DESIGN.md,
+    "Incremental solver layer").  The Benders and KAC slave problems hit this
+    on every infeasible evaluate, which previously re-hstacked the matrix
+    each time.
     """
-    num_rows, num_vars = a_ub.shape
-    a_ext = sparse.hstack([a_ub, -sparse.identity(num_rows, format="csr")], format="csr")
-    cost = np.concatenate([np.zeros(num_vars), np.ones(num_rows)])
-    lower_ext = np.concatenate([lower, np.zeros(num_rows)])
-    upper_ext = np.concatenate([upper, np.full(num_rows, np.inf)])
-    solution = solve_lp(cost, a_ext, b_ub, lower_ext, upper_ext)
-    if not solution.success:
-        raise RuntimeError(
-            f"phase-1 feasibility LP failed unexpectedly: {solution.status}"
+
+    def __init__(
+        self,
+        a_ub: sparse.csr_matrix,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ):
+        num_rows, num_vars = a_ub.shape
+        self.a_ext = sparse.hstack(
+            [a_ub, -sparse.identity(num_rows, format="csr")], format="csr"
         )
-    return solution.objective, solution.duals_upper
+        self.cost = np.concatenate([np.zeros(num_vars), np.ones(num_rows)])
+        self.lower_ext = np.concatenate([lower, np.zeros(num_rows)])
+        self.upper_ext = np.concatenate([upper, np.full(num_rows, np.inf)])
+
+    def certificate(self, b_ub: np.ndarray) -> tuple[float, np.ndarray]:
+        """Measure infeasibility of ``A u <= b_ub`` and return a Farkas ray.
+
+        The optimal value is 0 exactly when the original system is feasible.
+        When it is positive, the dual multipliers of the relaxed rows form a
+        certificate ``mu >= 0`` with ``b' mu < 0`` on any violated
+        combination; used as the "extreme ray" of the dual slave problem in
+        Algorithm 1 / Algorithm 3.
+        """
+        solution = solve_lp(
+            self.cost, self.a_ext, b_ub, self.lower_ext, self.upper_ext
+        )
+        if not solution.success:
+            raise RuntimeError(
+                f"phase-1 feasibility LP failed unexpectedly: {solution.status}"
+            )
+        return solution.objective, solution.duals_upper
 
 
 def solve_milp(

@@ -37,6 +37,7 @@ worth calling out (all documented in DESIGN.md):
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -116,6 +117,58 @@ class InfeasibleProblemError(RuntimeError):
     """Raised when the AC-RR instance has no feasible solution."""
 
 
+def _request_structure_key(request: SliceRequest) -> tuple:
+    """The fields of a request that shape the MILP structure.
+
+    Metadata is excluded on purpose: it only steers heuristics (e.g. the
+    KAC compute-unit preference), never the constraint matrices.
+    """
+    return (
+        request.name,
+        request.template,
+        request.duration_epochs,
+        request.penalty_factor,
+        request.arrival_epoch,
+        request.committed,
+    )
+
+
+def _structure_signature(requests: list[SliceRequest], options: "ProblemOptions") -> tuple:
+    """Everything that shapes the items and constraint sparsity."""
+    return (
+        tuple(_request_structure_key(request) for request in requests),
+        options,
+    )
+
+
+def _normalized_forecasts(
+    requests: list[SliceRequest], forecasts: dict[str, ForecastInput]
+) -> dict[str, ForecastInput]:
+    """Per-request forecasts with the pessimistic fallback and clamping."""
+    return {
+        request.name: forecasts.get(
+            request.name, ForecastInput.pessimistic(request.sla_mbps)
+        ).clamped(request.sla_mbps)
+        for request in requests
+    }
+
+
+def topology_signature(topology: NetworkTopology) -> tuple:
+    """Content signature of everything the AC-RR problem reads off a topology.
+
+    The structure/decision caches key topologies by identity for speed, but
+    topologies are mutable (``add_base_station`` etc.); this cheap snapshot
+    of the element names and capacities catches in-place mutation between
+    epochs so a stale skeleton or decision is never reused.
+    """
+    capacities = topology.capacities()
+    return (
+        tuple(sorted(capacities.radio_mhz.items())),
+        tuple(sorted(capacities.transport_mbps.items())),
+        tuple(sorted(capacities.compute_cpus.items())),
+    )
+
+
 @dataclass
 class _ConstraintBlock:
     """A block of sparse linear constraints ``lb <= A_x x + A_z z + A_y y <= ub``."""
@@ -159,12 +212,7 @@ class ACRRProblem:
         self.path_set = path_set
         self.requests = list(requests)
         self.options = options or ProblemOptions()
-        self._forecasts = {
-            request.name: forecasts.get(
-                request.name, ForecastInput.pessimistic(request.sla_mbps)
-            ).clamped(request.sla_mbps)
-            for request in self.requests
-        }
+        self._forecasts = _normalized_forecasts(self.requests, forecasts)
         self._base_station_names = topology.base_station_names
         self._compute_unit_names = topology.compute_unit_names
         self._link_keys = [link.key for link in topology.links]
@@ -172,6 +220,7 @@ class ACRRProblem:
         self.items: list[ProblemItem] = []
         self._build_items()
         self._index_items()
+        self._block_cache: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # Item construction
@@ -187,6 +236,21 @@ class ACRRProblem:
             admissible.extend(eligible)
         return admissible
 
+    def _forecast_item_fields(
+        self, request: SliceRequest, forecast: ForecastInput
+    ) -> dict[str, float]:
+        """The :class:`ProblemItem` fields that depend on the forecast.
+
+        Shared by the cold build and :meth:`with_forecasts` so the two can
+        never derive the item risk inputs differently.
+        """
+        duration_days = request.duration_epochs / self.options.epochs_per_day
+        return {
+            "lambda_hat_mbps": forecast.lambda_hat_mbps,
+            "sigma_hat": forecast.sigma_hat,
+            "xi": forecast.sigma_hat * duration_days,
+        }
+
     def _build_items(self) -> None:
         index = 0
         for tenant_index, request in enumerate(self.requests):
@@ -194,8 +258,7 @@ class ACRRProblem:
             num_bs = max(1, len(self._base_station_names))
             reward_per_path = request.reward / num_bs
             penalty_per_path = request.penalty_rate_per_mbps / num_bs
-            duration_days = request.duration_epochs / self.options.epochs_per_day
-            xi = forecast.sigma_hat * duration_days
+            forecast_fields = self._forecast_item_fields(request, forecast)
             for path in self._admissible_paths(request):
                 bs = self.topology.base_station(path.base_station)
                 overhead = max((link.overhead for link in path.links), default=1.0)
@@ -206,9 +269,7 @@ class ACRRProblem:
                         tenant=request,
                         path=path,
                         sla_mbps=request.sla_mbps,
-                        lambda_hat_mbps=forecast.lambda_hat_mbps,
-                        sigma_hat=forecast.sigma_hat,
-                        xi=xi,
+                        **forecast_fields,
                         reward_per_path=reward_per_path,
                         penalty_rate_per_path=penalty_per_path,
                         compute_baseline_cpus=request.compute_baseline_cpus,
@@ -290,10 +351,86 @@ class ACRRProblem:
         )
 
     # ------------------------------------------------------------------ #
+    # Structure reuse (see DESIGN.md, "Control-plane structure cache")
+    # ------------------------------------------------------------------ #
+    def structure_signature(self) -> tuple:
+        """Hashable key of everything that shapes the items and constraint
+        sparsity: the request set (names, templates, durations, penalties,
+        arrival epochs, committed flags) and the problem options.  Forecasts
+        are deliberately excluded -- two problems with equal signatures built
+        against the same topology and path set share their skeleton.  The
+        tuple is memoized per instance."""
+        return self._cached(
+            "signature", lambda: _structure_signature(self.requests, self.options)
+        )
+
+    def with_forecasts(
+        self,
+        requests: list[SliceRequest],
+        forecasts: dict[str, ForecastInput],
+    ) -> "ACRRProblem":
+        """Clone this problem's skeleton with new forecast inputs.
+
+        ``requests`` must be structurally identical to this instance's (same
+        :func:`structure_signature`); the freshly supplied objects are swapped
+        in so request metadata (e.g. the preferred compute unit recorded by
+        the orchestrator) stays current.  Items are re-derived by rewriting
+        only the forecast-dependent fields; the item indices and the
+        forecast-independent capacity/selection constraint blocks are shared
+        with this instance, so cached and cold builds yield identical
+        matrices.
+        """
+        expected = [_request_structure_key(r) for r in self.requests]
+        provided = [_request_structure_key(r) for r in requests]
+        if expected != provided:
+            raise ValueError(
+                "with_forecasts requires a structurally identical request set"
+            )
+        # Shallow copy: every structural attribute (topology, path set,
+        # capacities, item indices, ...) is shared automatically, including
+        # any attribute added to __init__ in the future.
+        clone = copy.copy(self)
+        clone.requests = list(requests)
+        clone._forecasts = _normalized_forecasts(clone.requests, forecasts)
+        clone.items = []
+        for item in self.items:
+            request = requests[item.tenant_index]
+            forecast = clone._forecasts[request.name]
+            clone.items.append(
+                replace(
+                    item,
+                    tenant=request,
+                    **clone._forecast_item_fields(request, forecast),
+                )
+            )
+        # Capacity and selection constraints (and the structure signature)
+        # do not depend on forecasts; the coupling block and the objective
+        # vectors do, so those rebuild lazily on the clone.
+        clone._block_cache = {
+            key: value
+            for key, value in self._block_cache.items()
+            if key in ("capacity", "selection", "signature")
+        }
+        return clone
+
+    def _cached(self, key: str, build):
+        value = self._block_cache.get(key)
+        if value is None:
+            value = build()
+            self._block_cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------ #
     # Objective
     # ------------------------------------------------------------------ #
     def objective_x(self) -> np.ndarray:
-        """Coefficients of x in the (minimised) linearised objective Psi."""
+        """Coefficients of x in the (minimised) linearised objective Psi.
+
+        The returned array is cached on the instance; treat it as read-only.
+        """
+        return self._cached("objective_x", self._build_objective_x)
+
+    def _build_objective_x(self) -> np.ndarray:
         coeffs = np.zeros(self.num_items)
         for item in self.items:
             if self.options.overbooking:
@@ -305,7 +442,13 @@ class ACRRProblem:
         return coeffs
 
     def objective_y(self) -> np.ndarray:
-        """Coefficients of y in the (minimised) linearised objective Psi."""
+        """Coefficients of y in the (minimised) linearised objective Psi.
+
+        The returned array is cached on the instance; treat it as read-only.
+        """
+        return self._cached("objective_y", self._build_objective_y)
+
+    def _build_objective_y(self) -> np.ndarray:
         coeffs = np.zeros(self.num_items)
         if not self.options.overbooking:
             return coeffs
@@ -337,6 +480,9 @@ class ACRRProblem:
     # ------------------------------------------------------------------ #
     def capacity_block(self) -> _ConstraintBlock:
         """Capacity constraints (2)-(4): one row per CU, link and BS."""
+        return self._cached("capacity", self._build_capacity_block)
+
+    def _build_capacity_block(self) -> _ConstraintBlock:
         n = self.num_items
         rows_x: list[int] = []
         cols_x: list[int] = []
@@ -403,6 +549,9 @@ class ACRRProblem:
 
     def selection_block(self) -> _ConstraintBlock:
         """Path-selection constraints (5), (6) and (13), on x only."""
+        return self._cached("selection", self._build_selection_block)
+
+    def _build_selection_block(self) -> _ConstraintBlock:
         n = self.num_items
         rows: list[int] = []
         cols: list[int] = []
@@ -470,6 +619,9 @@ class ACRRProblem:
 
     def coupling_block(self) -> _ConstraintBlock:
         """Coupling constraints (8)-(12) linking x, z and y."""
+        return self._cached("coupling", self._build_coupling_block)
+
+    def _build_coupling_block(self) -> _ConstraintBlock:
         n = self.num_items
         rows_x: list[int] = []
         cols_x: list[int] = []
@@ -554,3 +706,68 @@ class ACRRProblem:
                 lower[item.index] = floor
                 upper[item.index] = item.sla_mbps
         return lower, upper
+
+
+class ProblemStructureCache:
+    """Epoch-over-epoch reuse of the :class:`ACRRProblem` skeleton.
+
+    The orchestrator rebuilds the AC-RR problem every decision epoch, but in
+    steady state only the forecasts change: the active request set, the path
+    set and the options stay put for many consecutive epochs.  This cache
+    compares the structural signature of the incoming build request against
+    the previously built problem (topology and path set by identity, requests
+    and options by value) and, on a hit, clones the skeleton via
+    :meth:`ACRRProblem.with_forecasts` instead of re-running path filtering,
+    item construction and constraint-block assembly from scratch.
+    """
+
+    def __init__(self) -> None:
+        self._problem: ACRRProblem | None = None
+        self._topology_signature: tuple | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def build(
+        self,
+        topology: NetworkTopology,
+        path_set: PathSet,
+        requests: list[SliceRequest],
+        forecasts: dict[str, ForecastInput],
+        options: ProblemOptions | None = None,
+        topo_signature: tuple | None = None,
+    ) -> ACRRProblem:
+        """Build (or rebind) the AC-RR problem for one epoch.
+
+        ``topo_signature`` lets the caller pass an already-computed
+        :func:`topology_signature` so it is not derived twice per epoch.
+        """
+        options = options or ProblemOptions()
+        signature = _structure_signature(requests, options)
+        if topo_signature is None:
+            topo_signature = topology_signature(topology)
+        cached = self._problem
+        if (
+            cached is not None
+            and cached.topology is topology
+            and cached.path_set is path_set
+            and self._topology_signature == topo_signature
+            and cached.structure_signature() == signature
+        ):
+            self.hits += 1
+            problem = cached.with_forecasts(requests, forecasts)
+        else:
+            self.misses += 1
+            problem = ACRRProblem(
+                topology=topology,
+                path_set=path_set,
+                requests=requests,
+                forecasts=forecasts,
+                options=options,
+            )
+        self._problem = problem
+        self._topology_signature = topo_signature
+        return problem
+
+    def invalidate(self) -> None:
+        self._problem = None
+        self._topology_signature = None

@@ -13,6 +13,17 @@ This module computes, for the monitoring samples of one epoch, how much of
 each slice's SLA-conformant traffic could not be served.  That quantity
 drives both the SLA-violation statistics ("% of samples affected", "share of
 traffic dropped") and the penalty charged to the operator.
+
+The implementation is vectorized over the whole sample axis (see DESIGN.md,
+"Vectorized data plane"): offered loads are stacked into one
+``(num_keys, num_samples)`` array, the per-resource membership (which keys
+load each radio / transport / compute resource, with which multiplier) is
+compiled once per epoch into a sparse matrix, per-resource demand is a single
+sparse-dense matrix product, and the overload attribution runs on whole
+sample vectors at once.  All member-axis reductions accumulate sequentially
+in membership order, so the results are bit-for-bit identical to the
+straight-line per-sample formulation (kept as a reference implementation in
+``tests/property/test_multiplexer_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.solution import TenantAllocation
 from repro.topology.network import NetworkTopology
@@ -36,6 +48,35 @@ class ResourceLoadResult:
 
     def total_unserved(self) -> float:
         return float(sum(arr.sum() for arr in self.unserved_mbps.values()))
+
+
+@dataclass(frozen=True)
+class _ResourceMembership:
+    """Membership of every resource, compiled once per epoch.
+
+    ``matrix`` is the sparse ``(num_resources, num_keys)`` multiplier matrix:
+    ``matrix[r, k]`` is how many resource units one Mb/s of key ``k``'s
+    traffic consumes on resource ``r`` (1 for radio, the link overhead for
+    transport, CPUs-per-Mb/s for compute).  ``base`` holds the load-independent
+    demand (baseline CPUs), ``capacity`` the physical capacities and ``labels``
+    the resource names.  The CSR layout doubles as the per-resource member
+    table: row ``r``'s indices/data are exactly the member keys and their
+    multipliers, in membership (insertion) order.
+    """
+
+    matrix: sparse.csr_matrix
+    base: np.ndarray
+    capacity: np.ndarray
+    labels: tuple[str, ...]
+
+    @property
+    def num_resources(self) -> int:
+        return len(self.labels)
+
+    def members(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """(member key indices, multipliers) of one resource row."""
+        start, stop = self.matrix.indptr[row], self.matrix.indptr[row + 1]
+        return self.matrix.indices[start:stop], self.matrix.data[start:stop]
 
 
 class SliceMultiplexer:
@@ -66,50 +107,112 @@ class SliceMultiplexer:
         keys = list(offered_samples_mbps.keys())
         if not keys:
             return ResourceLoadResult(unserved_mbps={}, overloaded_resources=())
-        num_samples = len(next(iter(offered_samples_mbps.values())))
-        unserved = {key: np.zeros(num_samples) for key in keys}
-        overloaded: set[str] = set()
 
-        # Pre-compute which (slice, bs) keys load each resource and with what
-        # multiplier (1 for radio/bitrate domains, the overhead for links,
-        # CPUs-per-Mb/s for compute).
-        radio_members = self._radio_members(keys)
-        link_members = self._link_members(keys)
-        compute_members = self._compute_members(keys)
+        # Stack the offered loads into one (num_keys, num_samples) matrix;
+        # each key's samples are converted to float64 exactly once.
+        loads = np.stack(
+            [np.asarray(offered_samples_mbps[key], dtype=float) for key in keys]
+        )
+        num_keys, num_samples = loads.shape
 
-        for sample_index in range(num_samples):
-            loads = {
-                key: float(np.asarray(offered_samples_mbps[key])[sample_index])
-                for key in keys
-            }
-            for resource, capacity, members in self._iter_resources(
-                radio_members, link_members, compute_members
-            ):
-                base_load = sum(
-                    constant for (_key, _mult, constant) in members
-                )
-                demand = base_load + sum(
-                    loads[key] * multiplier for (key, multiplier, _constant) in members
-                )
-                overload = demand - capacity
-                if overload <= _EPSILON:
-                    continue
-                overloaded.add(resource)
-                shortfall = self._attribute_overload(
-                    overload, members, loads, sample_index
-                )
-                for key, unserved_mbps in shortfall.items():
-                    unserved[key][sample_index] = max(
-                        unserved[key][sample_index], unserved_mbps
-                    )
+        membership = self._membership(keys)
+        reservations = self._reservations(keys)
+
+        # Per-resource demand for every sample in one sparse matrix product:
+        # demand[r, s] = base[r] + sum_k matrix[r, k] * loads[k, s].
+        demand = membership.base[:, np.newaxis] + membership.matrix.dot(loads)
+        overload = demand - membership.capacity[:, np.newaxis]
+
+        unserved = np.zeros((num_keys, num_samples))
+        overloaded: list[str] = []
+        for row in range(membership.num_resources):
+            hot = overload[row] > _EPSILON
+            if not hot.any():
+                continue
+            overloaded.append(membership.labels[row])
+            member_idx, multipliers = membership.members(row)
+            cols = np.flatnonzero(hot)
+            shortfall = _attribute_overload(
+                overload[row, cols],
+                loads[np.ix_(member_idx, cols)],
+                reservations[member_idx][:, np.newaxis],
+                multipliers[:, np.newaxis],
+            )
+            # Bottleneck-max semantics: a slice crossing several saturated
+            # resources loses the max of the per-resource shortfalls.
+            target = unserved[np.ix_(member_idx, cols)]
+            unserved[np.ix_(member_idx, cols)] = np.maximum(target, shortfall)
 
         return ResourceLoadResult(
-            unserved_mbps=unserved, overloaded_resources=tuple(sorted(overloaded))
+            unserved_mbps={key: unserved[k] for k, key in enumerate(keys)},
+            overloaded_resources=tuple(sorted(overloaded)),
         )
 
     # ------------------------------------------------------------------ #
     # Resource membership tables
     # ------------------------------------------------------------------ #
+    def _reservations(self, keys) -> np.ndarray:
+        """Per-key reservation in Mb/s (0 for keys without an allocation)."""
+        reservations = np.zeros(len(keys))
+        for k, (name, bs) in enumerate(keys):
+            allocation = self.allocations.get(name)
+            if allocation is not None:
+                reservations[k] = allocation.reservations_mbps.get(bs, 0.0)
+        return reservations
+
+    def _membership(self, keys) -> _ResourceMembership:
+        """Compile the sparse resource-membership tables for one epoch."""
+        key_index = {key: k for k, key in enumerate(keys)}
+        resources: list[tuple[str, float, list[tuple[int, float, float]]]] = []
+        for group in (
+            self._radio_members(keys),
+            self._link_members(keys),
+            self._compute_members(keys),
+        ):
+            for resource, capacity, members in group:
+                resources.append(
+                    (
+                        resource,
+                        capacity,
+                        [
+                            (key_index[key], multiplier, constant)
+                            for key, multiplier, constant in members
+                        ],
+                    )
+                )
+
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        base = np.zeros(len(resources))
+        capacity = np.zeros(len(resources))
+        labels: list[str] = []
+        for row, (resource, cap, members) in enumerate(resources):
+            labels.append(resource)
+            capacity[row] = cap
+            base[row] = sum(constant for (_k, _mult, constant) in members)
+            for k, multiplier, _constant in members:
+                rows.append(row)
+                cols.append(k)
+                vals.append(multiplier)
+        # coo -> csr keeps each row's entries in insertion order because the
+        # member key indices are strictly increasing within a resource (the
+        # builders iterate ``keys`` in order); the CSR row slices therefore
+        # reproduce the scalar implementation's member iteration order.
+        matrix = sparse.csr_matrix(
+            (
+                np.asarray(vals, dtype=float),
+                (np.asarray(rows, dtype=int), np.asarray(cols, dtype=int)),
+            ),
+            shape=(len(resources), len(keys)),
+        )
+        return _ResourceMembership(
+            matrix=matrix,
+            base=base,
+            capacity=capacity,
+            labels=tuple(labels),
+        )
+
     def _radio_members(self, keys):
         """Radio domain: per BS, every slice served there loads it 1:1 (Mb/s)."""
         members: dict[str, list] = {}
@@ -158,59 +261,62 @@ class SliceMultiplexer:
             for cu, member_list in members.items()
         ]
 
-    @staticmethod
-    def _iter_resources(*groups):
-        for group in groups:
-            yield from group
 
-    # ------------------------------------------------------------------ #
-    def _attribute_overload(self, overload, members, loads, sample_index):
-        """Split a resource overload among the slices exceeding their reservation.
+def _attribute_overload(
+    overload: np.ndarray,
+    loads: np.ndarray,
+    reservations: np.ndarray,
+    multipliers: np.ndarray,
+) -> np.ndarray:
+    """Split one resource's overload among the slices exceeding their reservation.
 
-        The shortfall is expressed in the slice's own traffic units (Mb/s of
-        its conformant demand).  Slices at or below their reservation are
-        protected; if the protected traffic alone exceeds capacity (only
-        possible under the big-M deficit relaxation), the remainder is shared
-        proportionally to demand.
-        """
-        excess: dict[tuple[str, str], float] = {}
-        multipliers: dict[tuple[str, str], float] = {}
-        demands: dict[tuple[str, str], float] = {}
-        for key, multiplier, _constant in members:
-            name, bs = key
-            allocation = self.allocations[name]
-            reservation = allocation.reservations_mbps.get(bs, 0.0)
-            load = loads[key]
-            demands[key] = load
-            multipliers[key] = multiplier
-            excess[key] = max(0.0, load - reservation)
+    Vectorized over the sample axis: ``overload`` has shape ``(num_hot,)`` and
+    ``loads`` ``(num_members, num_hot)``; returns the per-member shortfall in
+    the slice's own traffic units (Mb/s of its conformant demand), clipped to
+    its demand.  Slices at or below their reservation are protected; if the
+    protected traffic alone exceeds capacity (only possible under the big-M
+    deficit relaxation), the remainder is shared proportionally to demand.
 
-        shortfall: dict[tuple[str, str], float] = {}
-        # Overload measured in resource units; convert slice excess into
-        # resource units via its multiplier.
-        excess_resource_units = {
-            key: excess[key] * max(multipliers[key], _EPSILON) for key in excess
-        }
-        total_excess = sum(excess_resource_units.values())
-        remaining = overload
-        if total_excess > _EPSILON:
-            absorbed = min(remaining, total_excess)
-            for key, excess_units in excess_resource_units.items():
-                share = absorbed * (excess_units / total_excess)
-                shortfall[key] = share / max(multipliers[key], _EPSILON)
-            remaining -= absorbed
-        if remaining > _EPSILON:
-            demand_units = {
-                key: demands[key] * max(multipliers[key], _EPSILON) for key in demands
-            }
-            total_demand = sum(demand_units.values())
-            if total_demand > _EPSILON:
-                for key, units in demand_units.items():
-                    extra = remaining * (units / total_demand)
-                    shortfall[key] = shortfall.get(key, 0.0) + extra / max(
-                        multipliers[key], _EPSILON
-                    )
-        # A slice can never lose more traffic than it offered.
-        return {
-            key: min(value, demands[key]) for key, value in shortfall.items() if value > 0
-        }
+    Member-axis sums accumulate sequentially so the arithmetic matches the
+    scalar formulation operation for operation.
+    """
+    multipliers_safe = np.maximum(multipliers, _EPSILON)
+
+    # Overload measured in resource units; convert slice excess into resource
+    # units via its multiplier.
+    excess_units = np.maximum(0.0, loads - reservations) * multipliers_safe
+    total_excess = _sequential_sum(excess_units)
+    shortfall = np.zeros_like(loads)
+
+    proportional = total_excess > _EPSILON
+    absorbed = np.minimum(overload, total_excess)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        share = absorbed * (excess_units / total_excess)
+    np.copyto(shortfall, share / multipliers_safe, where=proportional)
+    remaining = np.where(proportional, overload - absorbed, overload)
+
+    spill = remaining > _EPSILON
+    if spill.any():
+        demand_units = loads * multipliers_safe
+        total_demand = _sequential_sum(demand_units)
+        spill &= total_demand > _EPSILON
+        with np.errstate(divide="ignore", invalid="ignore"):
+            extra = remaining * (demand_units / total_demand)
+        shortfall = np.where(spill, shortfall + extra / multipliers_safe, shortfall)
+
+    # A slice can never lose more traffic than it offered, and a non-positive
+    # shortfall leaves the sample untouched.
+    return np.maximum(np.minimum(shortfall, loads), 0.0)
+
+
+def _sequential_sum(matrix: np.ndarray) -> np.ndarray:
+    """Sum over the member axis in order, matching ``sum()`` of scalars.
+
+    ``np.sum`` may use pairwise accumulation, which changes the floating-point
+    rounding relative to the scalar reference; an explicit left-to-right fold
+    keeps the two implementations bit-for-bit identical.
+    """
+    total = np.zeros(matrix.shape[1])
+    for row in matrix:
+        total += row
+    return total

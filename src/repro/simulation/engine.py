@@ -229,8 +229,11 @@ class SimulationEngine:
                 active_allocations[record.name] = allocation
             for bs in self.scenario.topology.base_station_names:
                 demand = self._demand_model(workload, bs)
+                # Convert to float64 once here; the multiplexer and the
+                # revenue accountant consume the arrays as-is.
                 samples = np.asarray(
-                    demand.sample_epoch(epoch, self.scenario.samples_per_epoch).samples_mbps
+                    demand.sample_epoch(epoch, self.scenario.samples_per_epoch).samples_mbps,
+                    dtype=float,
                 )
                 offered[(record.name, bs)] = samples
                 self.orchestrator.observe_load(record.name, bs, epoch, samples)

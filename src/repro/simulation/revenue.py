@@ -136,6 +136,14 @@ class RevenueAccountant:
         """
         reward = 0.0
         penalty = 0.0
+        # Group the offered keys by slice name up front (and convert each
+        # sample array to float64 exactly once) instead of rescanning -- and
+        # reconverting -- the whole dict for every active request.
+        offered_by_name: dict[str, list[tuple[tuple[str, str], np.ndarray]]] = {}
+        for key, samples in offered_samples_mbps.items():
+            offered_by_name.setdefault(key[0], []).append(
+                (key, np.asarray(samples, dtype=float))
+            )
         for request in active_requests:
             slice_reward = request.reward / request.duration_epochs
             reward += slice_reward
@@ -145,10 +153,7 @@ class RevenueAccountant:
             penalty_rate = request.penalty_rate_per_mbps / (
                 request.duration_epochs * self.num_base_stations
             )
-            for (name, bs), samples in offered_samples_mbps.items():
-                if name != request.name:
-                    continue
-                samples = np.asarray(samples, dtype=float)
+            for (name, bs), samples in offered_by_name.get(request.name, []):
                 if samples.size == 0:
                     continue
                 unserved = np.asarray(

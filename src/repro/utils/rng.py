@@ -8,6 +8,7 @@ identical traces, forecasts and admission decisions.
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
 import numpy as np
@@ -46,6 +47,9 @@ def derive_seed(seed: int | None, *labels: int | str) -> int:
 
     The labels (e.g. tenant name, epoch index) are hashed into the seed
     sequence entropy so that distinct labels give independent streams.
+    String labels use CRC32 rather than the built-in ``hash``: the latter is
+    salted per process (PYTHONHASHSEED), which silently made every run draw
+    different demand traces and oracle forecasts.
     """
     base = _DEFAULT_SEED if seed is None else seed
     entropy: list[int] = [base]
@@ -53,7 +57,7 @@ def derive_seed(seed: int | None, *labels: int | str) -> int:
         if isinstance(label, int):
             entropy.append(label & 0xFFFFFFFF)
         else:
-            entropy.append(abs(hash(str(label))) & 0xFFFFFFFF)
+            entropy.append(zlib.crc32(str(label).encode("utf-8")) & 0xFFFFFFFF)
     seq = np.random.SeedSequence(entropy)
     return int(seq.generate_state(1)[0])
 

@@ -108,3 +108,94 @@ class TestForecastingBlockFallbacks:
         seasonal = 10.0 + 5.0 * np.sin(np.arange(48) * 2 * np.pi / 24)
         long = block.forecast_for(request, np.clip(seasonal, 0.1, None))
         assert 0.0 < long.lambda_hat_mbps < 20.0
+
+
+class _CountingSolver:
+    """Wraps DirectMILPSolver and counts how often it is actually invoked."""
+
+    def __init__(self):
+        self.inner = DirectMILPSolver()
+        self.calls = 0
+
+    def solve(self, problem):
+        self.calls += 1
+        return self.inner.solve(problem)
+
+
+class TestEpochReuse:
+    """Structure cache + decision reuse across unchanged epochs."""
+
+    def _orchestrator(self, **config_kwargs):
+        topology = build_tiny_topology()
+        solver = _CountingSolver()
+        orchestrator = E2EOrchestrator(
+            topology=topology,
+            solver=solver,
+            config=OrchestratorConfig(samples_per_epoch=4, **config_kwargs),
+        )
+        request = SliceRequest(name="e1", template=EMBB_TEMPLATE, duration_epochs=24)
+        orchestrator.submit_request(request)
+        orchestrator.forecast_overrides["e1"] = ForecastInput(
+            lambda_hat_mbps=10.0, sigma_hat=0.2
+        )
+        return orchestrator, solver
+
+    def test_unchanged_epochs_reuse_the_previous_decision(self):
+        orchestrator, solver = self._orchestrator()
+        orchestrator.run_epoch(0)          # fresh request: solve
+        first = orchestrator.run_epoch(1)  # now committed: structure changed, solve
+        second = orchestrator.run_epoch(2)  # nothing changed: reuse
+        third = orchestrator.run_epoch(3)
+        assert solver.calls == 2
+        # Reused decisions share the allocations but report zero solver work.
+        assert second.allocations is first.allocations
+        assert third.allocations is first.allocations
+        assert second.objective_value == first.objective_value
+        assert second.stats.runtime_s == 0.0
+        assert "reused" in second.stats.message
+        # The skeleton cache hit on the unchanged epochs.
+        assert orchestrator.problem_cache.hits == 2
+        assert orchestrator.problem_cache.misses == 2
+
+    def test_forecast_change_invalidates_the_decision_but_not_the_skeleton(self):
+        orchestrator, solver = self._orchestrator()
+        orchestrator.run_epoch(0)
+        orchestrator.run_epoch(1)
+        orchestrator.run_epoch(2)
+        assert solver.calls == 2
+        orchestrator.forecast_overrides["e1"] = ForecastInput(
+            lambda_hat_mbps=25.0, sigma_hat=0.2
+        )
+        orchestrator.run_epoch(3)
+        assert solver.calls == 3
+        # Only the forecasts changed, so the skeleton was still reused
+        # (epochs 2 and 3; epochs 0 and 1 differ structurally).
+        assert orchestrator.problem_cache.hits == 2
+
+    def test_reuse_can_be_disabled(self):
+        orchestrator, solver = self._orchestrator(reuse_unchanged_decisions=False)
+        for epoch in range(4):
+            orchestrator.run_epoch(epoch)
+        assert solver.calls == 4
+
+    def test_reused_decision_matches_a_fresh_solve(self):
+        orchestrator, _solver = self._orchestrator()
+        orchestrator.run_epoch(0)
+        reference = orchestrator.run_epoch(1)
+        reused = orchestrator.run_epoch(2)
+
+        fresh_orchestrator, _ = self._orchestrator()
+        fresh_orchestrator.config = OrchestratorConfig(
+            samples_per_epoch=4, reuse_unchanged_decisions=False
+        )
+        fresh_orchestrator.run_epoch(0)
+        fresh_orchestrator.run_epoch(1)
+        fresh = fresh_orchestrator.run_epoch(2)
+        assert reused.objective_value == fresh.objective_value
+        assert reused.accepted_tenants == fresh.accepted_tenants
+        for name, allocation in fresh.allocations.items():
+            assert (
+                reused.allocations[name].reservations_mbps
+                == allocation.reservations_mbps
+            )
+        assert reference.accepted_tenants == fresh.accepted_tenants
