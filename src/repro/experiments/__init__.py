@@ -15,35 +15,73 @@ Each module regenerates one artefact (see DESIGN.md for the full index):
   experiment);
 * :mod:`repro.experiments.ablations` -- additional ablations (solver runtime
   and optimality gap, forecaster choice).
+
+Every sweep is declared through the campaign layer
+(:mod:`repro.experiments.campaign`): grids expand into content-hashed run
+specs, execute through pluggable (serial / process-pool) executors with
+per-run seeds, persist their records as JSON and resume from the cache.
+``python -m repro.experiments`` (see :mod:`repro.experiments.cli`) lists,
+runs and reports the status of the registered campaigns.
 """
 
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    CampaignStatus,
+    RunRecord,
+    RunSpec,
+    RunStore,
+    execute_spec,
+    expand_grid,
+)
 from repro.experiments.table1_templates import table1_rows
-from repro.experiments.fig4_topologies import Fig4Result, run_fig4
-from repro.experiments.fig5_homogeneous import Fig5Point, run_fig5
-from repro.experiments.fig6_heterogeneous import Fig6Point, run_fig6
-from repro.experiments.sla_violations import SlaViolationResult, run_sla_violations
-from repro.experiments.fig8_testbed import Fig8Result, run_fig8
+from repro.experiments.fig4_topologies import Fig4Result, fig4_campaign, run_fig4
+from repro.experiments.fig5_homogeneous import Fig5Point, fig5_campaign, run_fig5
+from repro.experiments.fig6_heterogeneous import Fig6Point, fig6_campaign, run_fig6
+from repro.experiments.sla_violations import (
+    SlaViolationResult,
+    run_sla_violations,
+    sla_violations_campaign,
+)
+from repro.experiments.fig8_testbed import Fig8Result, fig8_campaign, run_fig8
 from repro.experiments.ablations import (
     SolverAblationRow,
     run_solver_ablation,
+    solver_ablation_campaign,
     ForecasterAblationRow,
     run_forecaster_ablation,
+    forecaster_ablation_campaign,
 )
 
 __all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CampaignStatus",
+    "RunRecord",
+    "RunSpec",
+    "RunStore",
+    "execute_spec",
+    "expand_grid",
     "table1_rows",
     "Fig4Result",
+    "fig4_campaign",
     "run_fig4",
     "Fig5Point",
+    "fig5_campaign",
     "run_fig5",
     "Fig6Point",
+    "fig6_campaign",
     "run_fig6",
     "SlaViolationResult",
+    "sla_violations_campaign",
     "run_sla_violations",
     "Fig8Result",
+    "fig8_campaign",
     "run_fig8",
     "SolverAblationRow",
+    "solver_ablation_campaign",
     "run_solver_ablation",
     "ForecasterAblationRow",
+    "forecaster_ablation_campaign",
     "run_forecaster_ablation",
 ]

@@ -5,12 +5,23 @@ The paper characterises the networks through (a)-(c) their structure and
 over all candidate paths between base stations and the edge compute unit.
 This module regenerates those distributions for the synthetic operator
 topologies.
+
+The per-operator computation runs through the campaign layer (run kind
+``path-stats``): each operator is one cacheable run whose record stores the
+raw per-path capacity/delay samples, and the reduce step rebuilds the
+empirical CDFs from them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    RunSpec,
+    register_run_kind,
+)
 from repro.topology.network import NetworkTopology
 from repro.topology.operators import OPERATOR_FACTORIES
 from repro.topology.paths import PathSet, compute_path_sets
@@ -84,11 +95,80 @@ def path_statistics(
     )
 
 
+@register_run_kind("path-stats")
+def _run_path_stats_spec(spec: RunSpec) -> dict:
+    """Campaign run kind: one operator's Fig. 4 statistics.
+
+    The record's extras keep the raw per-path samples so the reduce step
+    (and any later re-rendering from the cache) can rebuild the CDFs.
+    """
+    params = spec.params
+    factory = OPERATOR_FACTORIES[params["operator"]]
+    topology = factory(
+        num_base_stations=params.get("num_base_stations"), seed=spec.seed
+    )
+    stats = path_statistics(
+        params["operator"], topology, k_paths=int(params.get("k_paths", 6))
+    )
+    return {
+        "summary": stats.summary(),
+        "extras": {
+            "capacities_gbps": list(stats.capacity_cdf_gbps.values),
+            "delays_us": list(stats.delay_cdf_us.values),
+        },
+    }
+
+
+def fig4_campaign(
+    num_base_stations: int | None = None,
+    k_paths: int = 6,
+    seed: int | None = None,
+    operators: tuple[str, ...] = ("romanian", "swiss", "italian"),
+) -> Campaign:
+    """Declare the Fig. 4 per-operator computation as a campaign."""
+    specs = tuple(
+        RunSpec(
+            experiment="fig4",
+            kind="path-stats",
+            params={
+                "operator": operator,
+                "num_base_stations": num_base_stations,
+                "k_paths": k_paths,
+            },
+            seed=seed,
+        )
+        for operator in operators
+    )
+    return Campaign(name="fig4", specs=specs, base_seed=seed)
+
+
+def reduce_fig4(result: CampaignResult) -> Fig4Result:
+    """Rebuild the per-operator statistics from the run records."""
+    operators: dict[str, OperatorPathStatistics] = {}
+    for record in result.records:
+        operator = record.spec.params["operator"]
+        operators[operator] = OperatorPathStatistics(
+            operator=operator,
+            num_base_stations=int(record.summary["num_base_stations"]),
+            num_links=int(record.summary["num_links"]),
+            mean_paths_per_pair=record.summary["mean_paths_per_pair"],
+            capacity_cdf_gbps=EmpiricalCDF.from_samples(
+                record.extras["capacities_gbps"]
+            ),
+            delay_cdf_us=EmpiricalCDF.from_samples(record.extras["delays_us"]),
+        )
+    return Fig4Result(operators=operators)
+
+
 def run_fig4(
     num_base_stations: int | None = None,
     k_paths: int = 6,
     seed: int | None = None,
     operators: tuple[str, ...] = ("romanian", "swiss", "italian"),
+    cache_dir=None,
+    executor=None,
+    workers: int | None = None,
+    force: bool = False,
 ) -> Fig4Result:
     """Regenerate Fig. 4 for the requested operators.
 
@@ -96,9 +176,13 @@ def run_fig4(
     stations); the benchmark harness passes a smaller number to keep its
     runtime reasonable.
     """
-    results: dict[str, OperatorPathStatistics] = {}
-    for operator in operators:
-        factory = OPERATOR_FACTORIES[operator]
-        topology = factory(num_base_stations=num_base_stations, seed=seed)
-        results[operator] = path_statistics(operator, topology, k_paths=k_paths)
-    return Fig4Result(operators=results)
+    campaign = fig4_campaign(
+        num_base_stations=num_base_stations,
+        k_paths=k_paths,
+        seed=seed,
+        operators=operators,
+    )
+    result = campaign.run(
+        cache_dir=cache_dir, executor=executor, workers=workers, force=force
+    )
+    return reduce_fig4(result)

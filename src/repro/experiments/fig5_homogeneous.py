@@ -6,6 +6,12 @@ scenario under an overbooking policy (optimal and/or KAC) and under the
 no-overbooking baseline, and reports the relative net-revenue gain -- the
 quantity plotted on the y-axis of Fig. 5.
 
+The sweep is declared as a :class:`repro.experiments.campaign.Campaign`: the
+grid expands into one :class:`RunSpec` per (scenario point, policy), the runs
+execute through a pluggable executor (parallel and cached/resumable when a
+cache directory is given) and :func:`reduce_fig5` folds the persisted records
+back into :class:`Fig5Point` rows.
+
 The paper's full grid (3 operators x 3 slice types x 9 load points x 3
 variability levels x 3 penalties, on 197-1497-cell networks) takes CPLEX
 hours per point; the defaults below use the reduced operator topologies and a
@@ -17,10 +23,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.slices import TEMPLATES
-from repro.simulation.runner import run_scenario
-from repro.simulation.scenario import homogeneous_scenario
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    RunRecord,
+    RunSpec,
+    expand_grid,
+)
+from repro.utils.rng import spec_hash
 from repro.utils.stats import relative_gain
+
+#: The policy every overbooking policy is compared against.
+BASELINE_POLICY = "no-overbooking"
 
 #: Reduced-scale defaults used by the benchmark harness.
 DEFAULT_OPERATORS = ("romanian", "swiss", "italian")
@@ -68,6 +82,106 @@ class Fig5Point:
         }
 
 
+def fig5_campaign(
+    operators: tuple[str, ...] = DEFAULT_OPERATORS,
+    slice_types: tuple[str, ...] = DEFAULT_TEMPLATES,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    relative_stds: tuple[float, ...] = DEFAULT_RELATIVE_STDS,
+    penalty_factors: tuple[float, ...] = DEFAULT_PENALTY_FACTORS,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    num_base_stations: int | None = DEFAULT_NUM_BASE_STATIONS,
+    num_tenants: dict[str, int] | None = None,
+    num_epochs: int = DEFAULT_NUM_EPOCHS,
+    seed: int | None = 1,
+) -> Campaign:
+    """Declare the Fig. 5 sweep as a campaign.
+
+    Every scenario point expands into the baseline run plus one run per
+    requested policy; all runs of a point share the scenario seed so the
+    comparison stays paired.
+    """
+    tenants_by_operator = dict(DEFAULT_NUM_TENANTS)
+    if num_tenants:
+        tenants_by_operator.update(num_tenants)
+
+    specs: list[RunSpec] = []
+    for point in expand_grid(
+        {
+            "operator": operators,
+            "slice_type": slice_types,
+            "alpha": alphas,
+            "relative_std": relative_stds,
+            "penalty_factor": penalty_factors,
+        }
+    ):
+        params = {
+            "scenario": "homogeneous",
+            **point,
+            "num_tenants": tenants_by_operator.get(point["operator"], 10),
+            "num_epochs": num_epochs,
+            "num_base_stations": num_base_stations,
+        }
+        for policy in _point_policies(policies):
+            specs.append(
+                RunSpec(
+                    experiment="fig5",
+                    kind="simulation",
+                    params=params,
+                    policy=policy,
+                    seed=seed,
+                )
+            )
+    return Campaign(name="fig5", specs=tuple(specs), base_seed=seed)
+
+
+def _point_policies(policies: tuple[str, ...]) -> tuple[str, ...]:
+    """Baseline first, then the requested policies (deduplicated)."""
+    ordered = [BASELINE_POLICY]
+    ordered.extend(policy for policy in policies if policy != BASELINE_POLICY)
+    return tuple(ordered)
+
+
+def reduce_fig5(
+    result: CampaignResult, policies: tuple[str, ...] = DEFAULT_POLICIES
+) -> list[Fig5Point]:
+    """Fold the campaign's run records back into the Fig. 5 point rows."""
+    groups: dict[str, dict[str | None, RunRecord]] = {}
+    order: list[str] = []
+    for record in result.records:
+        key = spec_hash(record.spec.scenario_identity())
+        if key not in groups:
+            groups[key] = {}
+            order.append(key)
+        groups[key][record.spec.policy] = record
+
+    points: list[Fig5Point] = []
+    for key in order:
+        by_policy = groups[key]
+        baseline = by_policy[BASELINE_POLICY]
+        params = baseline.spec.params
+        for policy in policies:
+            record = by_policy[policy]
+            points.append(
+                Fig5Point(
+                    operator=params["operator"],
+                    slice_type=params["slice_type"],
+                    alpha=params["alpha"],
+                    relative_std=params["relative_std"],
+                    penalty_factor=params["penalty_factor"],
+                    policy=policy,
+                    net_revenue=record.summary["net_revenue"],
+                    baseline_revenue=baseline.summary["net_revenue"],
+                    gain_percent=relative_gain(
+                        record.summary["net_revenue"], baseline.summary["net_revenue"]
+                    ),
+                    num_admitted=int(record.summary["num_admitted"]),
+                    baseline_admitted=int(baseline.summary["num_admitted"]),
+                    violation_probability=record.summary["violation_probability"],
+                )
+            )
+    return points
+
+
 def run_fig5(
     operators: tuple[str, ...] = DEFAULT_OPERATORS,
     slice_types: tuple[str, ...] = DEFAULT_TEMPLATES,
@@ -79,57 +193,34 @@ def run_fig5(
     num_tenants: dict[str, int] | None = None,
     num_epochs: int = DEFAULT_NUM_EPOCHS,
     seed: int | None = 1,
+    cache_dir=None,
+    executor=None,
+    workers: int | None = None,
+    force: bool = False,
 ) -> list[Fig5Point]:
     """Regenerate (a sub-sampled version of) Fig. 5.
 
-    Returns one :class:`Fig5Point` per (operator, slice type, alpha, sigma,
+    Expands the grid into a campaign, runs it (in parallel when ``workers``
+    or ``executor`` say so, resuming from ``cache_dir`` when given) and
+    returns one :class:`Fig5Point` per (operator, slice type, alpha, sigma,
     penalty, policy) combination.
     """
-    tenants_by_operator = dict(DEFAULT_NUM_TENANTS)
-    if num_tenants:
-        tenants_by_operator.update(num_tenants)
-
-    points: list[Fig5Point] = []
-    for operator in operators:
-        tenants = tenants_by_operator.get(operator, 10)
-        for slice_type in slice_types:
-            template = TEMPLATES[slice_type]
-            for alpha in alphas:
-                for relative_std in relative_stds:
-                    for penalty in penalty_factors:
-                        scenario = homogeneous_scenario(
-                            operator=operator,
-                            template=template,
-                            num_tenants=tenants,
-                            mean_load_fraction=alpha,
-                            relative_std=relative_std,
-                            penalty_factor=penalty,
-                            num_epochs=num_epochs,
-                            num_base_stations=num_base_stations,
-                            seed=seed,
-                        )
-                        baseline = run_scenario(scenario, policy="no-overbooking")
-                        for policy in policies:
-                            result = run_scenario(scenario, policy=policy)
-                            points.append(
-                                Fig5Point(
-                                    operator=operator,
-                                    slice_type=slice_type,
-                                    alpha=alpha,
-                                    relative_std=relative_std,
-                                    penalty_factor=penalty,
-                                    policy=policy,
-                                    net_revenue=result.net_revenue,
-                                    baseline_revenue=baseline.net_revenue,
-                                    gain_percent=relative_gain(
-                                        result.net_revenue, baseline.net_revenue
-                                    ),
-                                    num_admitted=result.num_admitted,
-                                    baseline_admitted=baseline.num_admitted,
-                                    violation_probability=result.violation_probability,
-                                )
-                            )
-    return points
+    campaign = fig5_campaign(
+        operators=operators,
+        slice_types=slice_types,
+        alphas=alphas,
+        relative_stds=relative_stds,
+        penalty_factors=penalty_factors,
+        policies=policies,
+        num_base_stations=num_base_stations,
+        num_tenants=num_tenants,
+        num_epochs=num_epochs,
+        seed=seed,
+    )
+    result = campaign.run(
+        cache_dir=cache_dir, executor=executor, workers=workers, force=force
+    )
+    return reduce_fig5(result, policies=policies)
 
 
 def format_fig5(points: list[Fig5Point]) -> str:

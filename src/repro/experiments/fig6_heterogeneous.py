@@ -5,15 +5,17 @@ The paper mixes pairs of slice types -- eMBB+mMTC, eMBB+uRLLC and mMTC+uRLLC
 load at ``0.2 * Lambda``.  The reported metric is the *absolute* net revenue
 (monetary units) of the overbooking policies next to the no-overbooking
 baseline (the black curve in the figure).
+
+Like Fig. 5, the sweep is declared as a campaign (one run spec per scenario
+point and policy) and reduced from the run records, so it parallelises and
+resumes through the shared campaign machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.slices import TEMPLATES
-from repro.simulation.runner import run_scenario
-from repro.simulation.scenario import heterogeneous_scenario
+from repro.experiments.campaign import Campaign, CampaignResult, RunSpec, expand_grid
 
 #: The three panel columns of Fig. 6.
 DEFAULT_MIXES = (("eMBB", "mMTC"), ("eMBB", "uRLLC"), ("mMTC", "uRLLC"))
@@ -54,6 +56,85 @@ class Fig6Point:
         }
 
 
+def fig6_campaign(
+    operators: tuple[str, ...] = DEFAULT_OPERATORS,
+    mixes: tuple[tuple[str, str], ...] = DEFAULT_MIXES,
+    betas: tuple[float, ...] = DEFAULT_BETAS,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    relative_std: float = 0.25,
+    penalty_factor: float = 1.0,
+    mean_load_fraction: float = DEFAULT_MEAN_LOAD_FRACTION,
+    num_base_stations: int | None = DEFAULT_NUM_BASE_STATIONS,
+    num_tenants: dict[str, int] | None = None,
+    num_epochs: int = DEFAULT_NUM_EPOCHS,
+    seed: int | None = 1,
+    include_baseline: bool = True,
+) -> Campaign:
+    """Declare the Fig. 6 sweep as a campaign (one spec per point/policy)."""
+    tenants_by_operator = dict(DEFAULT_NUM_TENANTS)
+    if num_tenants:
+        tenants_by_operator.update(num_tenants)
+    all_policies = _fig6_policies(policies, include_baseline)
+
+    specs: list[RunSpec] = []
+    for point in expand_grid(
+        {"operator": operators, "mix": mixes, "beta": betas}
+    ):
+        mix = point["mix"]
+        params = {
+            "scenario": "heterogeneous",
+            "operator": point["operator"],
+            "slice_type_a": mix[0],
+            "slice_type_b": mix[1],
+            "beta": point["beta"],
+            "mean_load_fraction": mean_load_fraction,
+            "relative_std": relative_std,
+            "penalty_factor": penalty_factor,
+            "num_tenants": tenants_by_operator.get(point["operator"], 10),
+            "num_epochs": num_epochs,
+            "num_base_stations": num_base_stations,
+        }
+        for policy in all_policies:
+            specs.append(
+                RunSpec(
+                    experiment="fig6",
+                    kind="simulation",
+                    params=params,
+                    policy=policy,
+                    seed=seed,
+                )
+            )
+    return Campaign(name="fig6", specs=tuple(specs), base_seed=seed)
+
+
+def _fig6_policies(
+    policies: tuple[str, ...], include_baseline: bool
+) -> tuple[str, ...]:
+    extra = ("no-overbooking",) if include_baseline else ()
+    return tuple(policies) + tuple(p for p in extra if p not in policies)
+
+
+def reduce_fig6(result: CampaignResult) -> list[Fig6Point]:
+    """Fold the campaign's run records back into the Fig. 6 point rows."""
+    points: list[Fig6Point] = []
+    for record in result.records:
+        params = record.spec.params
+        points.append(
+            Fig6Point(
+                operator=params["operator"],
+                mix=(params["slice_type_a"], params["slice_type_b"]),
+                beta=params["beta"],
+                relative_std=params["relative_std"],
+                penalty_factor=params["penalty_factor"],
+                policy=record.spec.policy,
+                net_revenue=record.summary["net_revenue"],
+                num_admitted=int(record.summary["num_admitted"]),
+                violation_probability=record.summary["violation_probability"],
+            )
+        )
+    return points
+
+
 def run_fig6(
     operators: tuple[str, ...] = DEFAULT_OPERATORS,
     mixes: tuple[tuple[str, str], ...] = DEFAULT_MIXES,
@@ -67,52 +148,34 @@ def run_fig6(
     num_epochs: int = DEFAULT_NUM_EPOCHS,
     seed: int | None = 1,
     include_baseline: bool = True,
+    cache_dir=None,
+    executor=None,
+    workers: int | None = None,
+    force: bool = False,
 ) -> list[Fig6Point]:
     """Regenerate (a sub-sampled version of) Fig. 6.
 
     The no-overbooking baseline is included as its own policy row (the black
     curve of the figure) when ``include_baseline`` is set.
     """
-    tenants_by_operator = dict(DEFAULT_NUM_TENANTS)
-    if num_tenants:
-        tenants_by_operator.update(num_tenants)
-    all_policies = tuple(policies) + (("no-overbooking",) if include_baseline else ())
-
-    points: list[Fig6Point] = []
-    for operator in operators:
-        tenants = tenants_by_operator.get(operator, 10)
-        for mix in mixes:
-            template_a, template_b = TEMPLATES[mix[0]], TEMPLATES[mix[1]]
-            for beta in betas:
-                scenario = heterogeneous_scenario(
-                    operator=operator,
-                    template_a=template_a,
-                    template_b=template_b,
-                    num_tenants=tenants,
-                    fraction_b=beta,
-                    mean_load_fraction=mean_load_fraction,
-                    relative_std=relative_std,
-                    penalty_factor=penalty_factor,
-                    num_epochs=num_epochs,
-                    num_base_stations=num_base_stations,
-                    seed=seed,
-                )
-                for policy in all_policies:
-                    result = run_scenario(scenario, policy=policy)
-                    points.append(
-                        Fig6Point(
-                            operator=operator,
-                            mix=mix,
-                            beta=beta,
-                            relative_std=relative_std,
-                            penalty_factor=penalty_factor,
-                            policy=policy,
-                            net_revenue=result.net_revenue,
-                            num_admitted=result.num_admitted,
-                            violation_probability=result.violation_probability,
-                        )
-                    )
-    return points
+    campaign = fig6_campaign(
+        operators=operators,
+        mixes=mixes,
+        betas=betas,
+        policies=policies,
+        relative_std=relative_std,
+        penalty_factor=penalty_factor,
+        mean_load_fraction=mean_load_fraction,
+        num_base_stations=num_base_stations,
+        num_tenants=num_tenants,
+        num_epochs=num_epochs,
+        seed=seed,
+        include_baseline=include_baseline,
+    )
+    result = campaign.run(
+        cache_dir=cache_dir, executor=executor, workers=workers, force=force
+    )
+    return reduce_fig6(result)
 
 
 def format_fig6(points: list[Fig6Point]) -> str:

@@ -10,6 +10,11 @@ baseline and records, per epoch:
 * the same for the two CU-facing transport links (Fig. 8(c)),
 * the same for the CPU pools of the edge and core CUs (Fig. 8(d)).
 
+The per-policy runs are declared as a campaign; :class:`Fig8Result` is a
+view over the persisted run records (net-revenue series, admission outcome
+and per-domain usage timelines), so the figure can be re-rendered from the
+cache without re-simulating.
+
 The paper's hardware inventory (Table 2) cannot be reproduced in software;
 ``TESTBED_CONFIG`` documents how each component is substituted.
 """
@@ -20,9 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.simulation.engine import SimulationResult
-from repro.simulation.runner import run_scenario
-from repro.simulation.scenario import testbed_scenario
+from repro.experiments.campaign import Campaign, CampaignResult, RunRecord, RunSpec
 
 #: Substitution map for Table 2 (see DESIGN.md).
 TESTBED_CONFIG = {
@@ -39,16 +42,22 @@ START_HOUR = 6
 
 @dataclass(frozen=True)
 class Fig8Result:
-    """Per-policy simulation results plus convenience accessors."""
+    """Per-policy run records plus the figure's convenience accessors."""
 
-    results: dict[str, SimulationResult]
+    records: dict[str, RunRecord]
 
     def policies(self) -> list[str]:
-        return list(self.results)
+        return list(self.records)
+
+    def _extras(self, policy: str) -> dict:
+        return dict(self.records[policy].extras)
 
     # -- Fig. 8(a): net revenue over time ------------------------------- #
+    def per_epoch_net_revenue(self, policy: str) -> np.ndarray:
+        return np.asarray(self._extras(policy)["per_epoch_net"], dtype=float)
+
     def cumulative_revenue(self, policy: str) -> np.ndarray:
-        return np.cumsum(self.results[policy].per_epoch_net_revenue)
+        return np.cumsum(self.per_epoch_net_revenue(policy))
 
     def revenue_timeline(self, policy: str) -> list[tuple[str, float]]:
         """(hour-of-day label, cumulative net revenue) pairs."""
@@ -60,10 +69,10 @@ class Fig8Result:
 
     # -- admission outcomes --------------------------------------------- #
     def admitted(self, policy: str) -> tuple[str, ...]:
-        return self.results[policy].final_admitted
+        return tuple(self._extras(policy)["final_admitted"])
 
     def rejected(self, policy: str) -> tuple[str, ...]:
-        return self.results[policy].final_rejected
+        return tuple(self._extras(policy)["final_rejected"])
 
     # -- Fig. 8(b)-(d): per-domain reservation vs utilisation ------------ #
     def domain_timeline(
@@ -72,35 +81,61 @@ class Fig8Result:
         """Per resource: (hour label, reserved, used) triples over time.
 
         ``domain`` is one of ``radio``, ``transport`` or ``compute``.
+        Transport resources are labelled ``"endpoint--endpoint"``.
         """
         if domain not in ("radio", "transport", "compute"):
             raise ValueError("domain must be 'radio', 'transport' or 'compute'")
-        result = self.results[policy]
         timeline: dict[str, list[tuple[str, float, float]]] = {}
-        for record in result.epoch_records:
-            usage_map = {
-                "radio": record.radio_usage,
-                "transport": record.transport_usage,
-                "compute": record.compute_usage,
-            }[domain]
-            hour = f"{(START_HOUR + record.epoch) % 24:02d}:00"
-            for key, usage in usage_map.items():
-                label = key if isinstance(key, str) else f"{key[0]}--{key[1]}"
-                timeline.setdefault(label, []).append((hour, usage.reserved, usage.used))
+        for epoch_usage in self._extras(policy).get("epoch_usage", []):
+            hour = f"{(START_HOUR + epoch_usage['epoch']) % 24:02d}:00"
+            for label, usage in epoch_usage[domain].items():
+                timeline.setdefault(label, []).append(
+                    (hour, usage["reserved"], usage["used"])
+                )
         return timeline
 
     def final_revenue(self, policy: str) -> float:
-        return self.results[policy].net_revenue
+        return self.records[policy].summary["net_revenue"]
+
+
+def fig8_campaign(
+    policies: tuple[str, ...] = ("optimal", "no-overbooking"),
+    num_epochs: int = 18,
+    seed: int | None = 3,
+) -> Campaign:
+    """Declare the testbed experiment as a campaign (one run per policy)."""
+    specs = tuple(
+        RunSpec(
+            experiment="fig8",
+            kind="simulation",
+            params={"scenario": "testbed", "num_epochs": num_epochs},
+            policy=policy,
+            seed=seed,
+        )
+        for policy in policies
+    )
+    return Campaign(name="fig8", specs=specs, base_seed=seed)
+
+
+def reduce_fig8(result: CampaignResult) -> Fig8Result:
+    """Rebuild the figure view from the campaign's run records."""
+    return Fig8Result(
+        records={record.spec.policy: record for record in result.records}
+    )
 
 
 def run_fig8(
     policies: tuple[str, ...] = ("optimal", "no-overbooking"),
     num_epochs: int = 18,
     seed: int | None = 3,
+    cache_dir=None,
+    executor=None,
+    workers: int | None = None,
+    force: bool = False,
 ) -> Fig8Result:
     """Run the testbed experiment under each policy and collect the results."""
-    results: dict[str, SimulationResult] = {}
-    for policy in policies:
-        scenario = testbed_scenario(num_epochs=num_epochs, seed=seed)
-        results[policy] = run_scenario(scenario, policy=policy)
-    return Fig8Result(results=results)
+    campaign = fig8_campaign(policies=policies, num_epochs=num_epochs, seed=seed)
+    result = campaign.run(
+        cache_dir=cache_dir, executor=executor, workers=workers, force=force
+    )
+    return reduce_fig8(result)

@@ -5,16 +5,15 @@ aggressive configuration (sigma = lambda/2, m = 1) SLA violations occur in
 fewer than 0.0001 % of the monitoring samples and affect at most ~10 % of the
 traffic; an even more aggressive sanity check (sigma = 3*lambda/4, m = 0.01)
 raises this to 0.043 % of samples and ~20 % of traffic.  This experiment runs
-those two configurations and reports the same statistics.
+those two configurations (as a campaign, one run per configuration) and
+reports the same statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.slices import TEMPLATES
-from repro.simulation.runner import run_scenario
-from repro.simulation.scenario import homogeneous_scenario
+from repro.experiments.campaign import Campaign, CampaignResult, RunSpec
 
 
 @dataclass(frozen=True)
@@ -50,6 +49,62 @@ PAPER_CONFIGURATIONS = (
 )
 
 
+def sla_violations_campaign(
+    operator: str = "romanian",
+    slice_type: str = "eMBB",
+    alpha: float = 0.5,
+    policy: str = "optimal",
+    configurations: tuple[tuple[str, float, float], ...] = PAPER_CONFIGURATIONS,
+    num_base_stations: int | None = 8,
+    num_tenants: int = 10,
+    num_epochs: int = 8,
+    seed: int | None = 7,
+) -> Campaign:
+    """Declare the SLA-violation sweep as a campaign (one run per config)."""
+    specs = tuple(
+        RunSpec(
+            experiment="sla",
+            kind="simulation",
+            params={
+                "scenario": "homogeneous",
+                "operator": operator,
+                "slice_type": slice_type,
+                "alpha": alpha,
+                "relative_std": relative_std,
+                "penalty_factor": penalty,
+                "num_tenants": num_tenants,
+                "num_epochs": num_epochs,
+                "num_base_stations": num_base_stations,
+                "label": label,
+            },
+            policy=policy,
+            seed=seed,
+        )
+        for label, relative_std, penalty in configurations
+    )
+    return Campaign(name="sla", specs=specs, base_seed=seed)
+
+
+def reduce_sla_violations(result: CampaignResult) -> list[SlaViolationResult]:
+    """Fold the run records into the per-configuration statistics rows."""
+    rows: list[SlaViolationResult] = []
+    for record in result.records:
+        params = record.spec.params
+        rows.append(
+            SlaViolationResult(
+                label=params["label"],
+                relative_std=params["relative_std"],
+                penalty_factor=params["penalty_factor"],
+                policy=record.spec.policy,
+                violation_probability=record.summary["violation_probability"],
+                mean_drop_fraction=record.summary["mean_drop_fraction"],
+                max_drop_fraction=record.summary["max_drop_fraction"],
+                net_revenue=record.summary["net_revenue"],
+            )
+        )
+    return rows
+
+
 def run_sla_violations(
     operator: str = "romanian",
     slice_type: str = "eMBB",
@@ -60,32 +115,24 @@ def run_sla_violations(
     num_tenants: int = 10,
     num_epochs: int = 8,
     seed: int | None = 7,
+    cache_dir=None,
+    executor=None,
+    workers: int | None = None,
+    force: bool = False,
 ) -> list[SlaViolationResult]:
     """Measure the SLA-violation footprint in the paper's two configurations."""
-    results: list[SlaViolationResult] = []
-    for label, relative_std, penalty in configurations:
-        scenario = homogeneous_scenario(
-            operator=operator,
-            template=TEMPLATES[slice_type],
-            num_tenants=num_tenants,
-            mean_load_fraction=alpha,
-            relative_std=relative_std,
-            penalty_factor=penalty,
-            num_epochs=num_epochs,
-            num_base_stations=num_base_stations,
-            seed=seed,
-        )
-        result = run_scenario(scenario, policy=policy)
-        results.append(
-            SlaViolationResult(
-                label=label,
-                relative_std=relative_std,
-                penalty_factor=penalty,
-                policy=policy,
-                violation_probability=result.violation_probability,
-                mean_drop_fraction=result.mean_drop_fraction,
-                max_drop_fraction=result.revenue.max_drop_fraction,
-                net_revenue=result.net_revenue,
-            )
-        )
-    return results
+    campaign = sla_violations_campaign(
+        operator=operator,
+        slice_type=slice_type,
+        alpha=alpha,
+        policy=policy,
+        configurations=configurations,
+        num_base_stations=num_base_stations,
+        num_tenants=num_tenants,
+        num_epochs=num_epochs,
+        seed=seed,
+    )
+    result = campaign.run(
+        cache_dir=cache_dir, executor=executor, workers=workers, force=force
+    )
+    return reduce_sla_violations(result)

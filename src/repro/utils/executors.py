@@ -1,0 +1,134 @@
+"""Pluggable executors for fanning out independent runs.
+
+The campaign layer (:mod:`repro.experiments.campaign`) and the policy
+comparison helper (:func:`repro.simulation.runner.compare_policies`) both
+need to map a pure function over a list of independent work items.  The
+executor contract is deliberately tiny so tests can run serially while the
+default path fans out over a process pool:
+
+* ``map(fn, items, on_result=None)`` applies ``fn`` to every item and
+  returns the results **in item order**; ``on_result`` is invoked with each
+  result as soon as it is available (item order serially, completion order
+  in the pool), which the campaign layer uses to persist records
+  incrementally -- even when one run fails, every run that completed is
+  persisted before the failure propagates, so an aborted sweep resumes
+  from all finished work;
+* ``fn`` and the items must be picklable for the process-pool executor
+  (``fn`` must be a module-level function);
+* executors are stateless between ``map`` calls and may be reused.
+
+Because every work item carries its own seed (derived via
+:func:`repro.utils.rng.derive_seed`, which is stable across processes), the
+results are identical whichever executor runs them -- a property the test
+suite asserts explicitly.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _consume(
+    results: Iterable[R], on_result: Callable[[R], None] | None
+) -> list[R]:
+    collected: list[R] = []
+    for result in results:
+        if on_result is not None:
+            on_result(result)
+        collected.append(result)
+    return collected
+
+
+class SerialExecutor:
+    """Run every item in the calling process, one after the other."""
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        on_result: Callable[[R], None] | None = None,
+    ) -> list[R]:
+        return _consume((fn(item) for item in items), on_result)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ProcessPoolRunExecutor:
+    """Fan items out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    ``max_workers=None`` lets the pool pick one worker per CPU.  The pool is
+    created per ``map`` call so the executor object itself stays picklable
+    and carries no OS resources between sweeps.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive (or None for the default)")
+        self.max_workers = max_workers
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        on_result: Callable[[R], None] | None = None,
+    ) -> list[R]:
+        items = list(items)
+        if len(items) <= 1:  # not worth a pool
+            return _consume((fn(item) for item in items), on_result)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            # Drain in completion order so every finished result reaches
+            # on_result even when another item fails; re-raise the first
+            # failure only after the whole pool has been consumed.
+            first_failure: BaseException | None = None
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    result = future.result()
+                except BaseException as exc:
+                    if first_failure is None:
+                        first_failure = exc
+                    continue
+                if on_result is not None:
+                    on_result(result)
+            if first_failure is not None:
+                raise first_failure
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessPoolRunExecutor(max_workers={self.max_workers})"
+
+
+def default_executor(workers: int | None) -> SerialExecutor | ProcessPoolRunExecutor:
+    """Executor selection used by the CLI: ``0``/``1``/``None`` mean serial."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ProcessPoolRunExecutor(max_workers=workers)
+
+
+def resolve_executor(
+    executor: "SerialExecutor | ProcessPoolRunExecutor | None",
+    workers: int | None = None,
+):
+    """Resolve the ``executor``/``workers`` pair accepted by the sweep APIs.
+
+    An explicit executor object wins; otherwise ``workers`` picks one via
+    :func:`default_executor` (serial when ``workers`` is ``None``).
+    """
+    if executor is not None:
+        return executor
+    return default_executor(workers)
+
+
+__all__ = [
+    "SerialExecutor",
+    "ProcessPoolRunExecutor",
+    "default_executor",
+    "resolve_executor",
+]

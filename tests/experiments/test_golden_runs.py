@@ -1,0 +1,184 @@
+"""Golden-run regression harness.
+
+Small seeded reference summaries for one homogeneous, one heterogeneous and
+one testbed scenario, each run under every orchestration policy, are
+committed under ``tests/golden/``.  Fresh runs must match them to tight
+tolerance: any drift in the solver layer, the data plane or the revenue
+accounting shows up here *before* a figure visibly moves, which is the
+safety net future solver/data-plane PRs rely on.
+
+The reference files pin, per (scenario, policy):
+
+* the spec's content hash (``run_id``) -- so accidental changes to spec
+  hashing or scenario parameters fail loudly;
+* the flat numeric summary (net revenue, violation statistics, admissions);
+* the per-epoch net-revenue series and the admission outcome.
+
+Seeded runs are bit-stable across processes (``derive_seed`` is CRC32-based,
+demand flows through seeded ``numpy`` generators, HiGHS is deterministic),
+so the comparisons use a tight relative tolerance that only leaves room for
+cross-platform floating-point noise.
+
+To regenerate after an *intentional* behaviour change::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/experiments/test_golden_runs.py
+
+and commit the refreshed JSON together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.campaign import RunSpec, execute_spec
+from repro.simulation.runner import POLICIES
+
+pytestmark = pytest.mark.golden
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+UPDATE_ENV = "REPRO_UPDATE_GOLDEN"
+
+#: Relative tolerance for float comparisons (identical platforms reproduce
+#: bit-for-bit; this only absorbs cross-platform libm/BLAS noise).
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+#: The three pinned scenarios; every orchestration policy runs each one.
+GOLDEN_SCENARIOS = {
+    "homogeneous": {
+        "seed": 17,
+        "params": {
+            "scenario": "homogeneous",
+            "operator": "romanian",
+            "slice_type": "eMBB",
+            "alpha": 0.3,
+            "relative_std": 0.25,
+            "penalty_factor": 1.0,
+            "num_tenants": 5,
+            "num_epochs": 3,
+            "num_base_stations": 3,
+        },
+    },
+    "heterogeneous": {
+        "seed": 23,
+        "params": {
+            "scenario": "heterogeneous",
+            "operator": "romanian",
+            "slice_type_a": "eMBB",
+            "slice_type_b": "uRLLC",
+            "beta": 0.4,
+            "mean_load_fraction": 0.2,
+            "relative_std": 0.25,
+            "penalty_factor": 1.0,
+            "num_tenants": 5,
+            "num_epochs": 3,
+            "num_base_stations": 3,
+        },
+    },
+    "testbed": {
+        "seed": 3,
+        "params": {"scenario": "testbed", "num_epochs": 8},
+    },
+}
+
+
+def golden_spec(scenario: str, policy: str) -> RunSpec:
+    config = GOLDEN_SCENARIOS[scenario]
+    return RunSpec(
+        experiment="golden",
+        kind="simulation",
+        params=config["params"],
+        policy=policy,
+        seed=config["seed"],
+    )
+
+
+def golden_path(scenario: str) -> Path:
+    return GOLDEN_DIR / f"{scenario}.json"
+
+
+def reference_entry(spec: RunSpec) -> dict:
+    """What a golden file pins for one (scenario, policy) run."""
+    record = execute_spec(spec)
+    return {
+        "run_id": spec.run_id,
+        "summary": dict(record.summary),
+        "per_epoch_net": list(record.extras["per_epoch_net"]),
+        "final_admitted": list(record.extras["final_admitted"]),
+        "final_rejected": list(record.extras["final_rejected"]),
+    }
+
+
+def _regenerate(scenario: str) -> dict:
+    payload = {
+        "schema": 1,
+        "scenario": scenario,
+        "seed": GOLDEN_SCENARIOS[scenario]["seed"],
+        "params": GOLDEN_SCENARIOS[scenario]["params"],
+        "policies": {
+            policy: reference_entry(golden_spec(scenario, policy))
+            for policy in POLICIES
+        },
+    }
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    golden_path(scenario).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def load_golden(scenario: str) -> dict:
+    path = golden_path(scenario)
+    if os.environ.get(UPDATE_ENV):
+        return _regenerate(scenario)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden file {path}; run with {UPDATE_ENV}=1 to create it"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module", params=sorted(GOLDEN_SCENARIOS))
+def golden_case(request):
+    return request.param, load_golden(request.param)
+
+
+class TestGoldenRuns:
+    def test_covers_every_policy(self, golden_case):
+        _, golden = golden_case
+        assert set(golden["policies"]) == set(POLICIES)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fresh_run_matches_reference(self, golden_case, policy):
+        scenario, golden = golden_case
+        spec = golden_spec(scenario, policy)
+        reference = golden["policies"][policy]
+
+        # Spec hashing must be stable: a drifting run_id means the scenario
+        # parameters or the hash itself changed, which invalidates the cache.
+        assert spec.run_id == reference["run_id"], (
+            f"golden spec hash for {scenario}/{policy} drifted; regenerate "
+            f"tests/golden/ if the change is intentional"
+        )
+
+        fresh = reference_entry(spec)
+        assert fresh["final_admitted"] == reference["final_admitted"]
+        assert fresh["final_rejected"] == reference["final_rejected"]
+        assert fresh["per_epoch_net"] == pytest.approx(
+            reference["per_epoch_net"], rel=REL_TOL, abs=ABS_TOL
+        )
+        assert set(fresh["summary"]) == set(reference["summary"])
+        for key, expected in reference["summary"].items():
+            assert fresh["summary"][key] == pytest.approx(
+                expected, rel=REL_TOL, abs=ABS_TOL
+            ), f"{scenario}/{policy}: summary[{key!r}] drifted"
+
+    def test_overbooking_beats_baseline_in_reference(self, golden_case):
+        # Sanity on the committed numbers themselves: the pinned references
+        # must show the paper's headline effect, not a degenerate run.
+        _, golden = golden_case
+        baseline = golden["policies"]["no-overbooking"]["summary"]["net_revenue"]
+        optimal = golden["policies"]["optimal"]["summary"]["net_revenue"]
+        assert optimal >= baseline - 1e-9
