@@ -13,8 +13,9 @@ Run with:  python examples/dynamic_testbed_day.py
 from repro.experiments.fig8_testbed import run_fig8
 
 
-def main() -> None:
-    result = run_fig8(policies=("optimal", "no-overbooking"), num_epochs=18, seed=3)
+def main(num_epochs: int = 18, seed: int = 3) -> None:
+    """Replay the testbed day; ``num_epochs`` shrinks it for smoke tests."""
+    result = run_fig8(policies=("optimal", "no-overbooking"), num_epochs=num_epochs, seed=seed)
 
     print("Admission outcome")
     print("-" * 60)

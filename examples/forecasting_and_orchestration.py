@@ -26,15 +26,16 @@ from repro.traffic.patterns import DemandSpec, demand_for_template
 EPOCHS_PER_DAY = 24
 
 
-def forecasting_demo() -> None:
+def forecasting_demo(num_days: int = 4) -> None:
     print("Forecasting a diurnal slice load (one-step-ahead, last day)")
     print("-" * 64)
+    num_days = max(3, num_days)
     demand = demand_for_template(
         URLLC_TEMPLATE,
         DemandSpec(mean_fraction=0.5, relative_std=0.15, seasonal=True),
         seed=42,
     )
-    peaks = demand.peak_series(4 * EPOCHS_PER_DAY, samples_per_epoch=12)
+    peaks = demand.peak_series(num_days * EPOCHS_PER_DAY, samples_per_epoch=12)
 
     forecasters = {
         "holt-winters": HoltWintersForecaster(season_length=EPOCHS_PER_DAY),
@@ -42,7 +43,7 @@ def forecasting_demo() -> None:
         "naive": NaiveForecaster(),
     }
     errors = {name: [] for name in forecasters}
-    for t in range(3 * EPOCHS_PER_DAY, 4 * EPOCHS_PER_DAY):
+    for t in range((num_days - 1) * EPOCHS_PER_DAY, num_days * EPOCHS_PER_DAY):
         history, truth = peaks[:t], peaks[t]
         for name, forecaster in forecasters.items():
             prediction = forecaster.forecast(history).next_value
@@ -52,7 +53,7 @@ def forecasting_demo() -> None:
     print()
 
 
-def orchestration_demo() -> None:
+def orchestration_demo(num_epochs: int = 4) -> None:
     print("Adaptive reservations make room for more slices")
     print("-" * 64)
     orchestrator = E2EOrchestrator(
@@ -66,7 +67,7 @@ def orchestration_demo() -> None:
     demand = demand_for_template(
         URLLC_TEMPLATE, DemandSpec(mean_fraction=0.4, relative_std=0.1), seed=7
     )
-    for epoch in range(4):
+    for epoch in range(num_epochs):
         decision = orchestrator.run_epoch(epoch)
         admitted = ", ".join(sorted(decision.accepted_tenants)) or "(none)"
         reservations = {
@@ -87,6 +88,10 @@ def orchestration_demo() -> None:
     )
 
 
+def main(num_days: int = 4, num_epochs: int = 4) -> None:
+    forecasting_demo(num_days=num_days)
+    orchestration_demo(num_epochs=num_epochs)
+
+
 if __name__ == "__main__":
-    forecasting_demo()
-    orchestration_demo()
+    main()

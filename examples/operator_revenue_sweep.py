@@ -20,14 +20,20 @@ NUM_BASE_STATIONS = 6
 NUM_TENANTS = {"romanian": 8, "swiss": 8, "italian": 12}
 
 
-def main() -> None:
+def main(
+    operators: tuple[str, ...] = OPERATORS,
+    alphas: tuple[float, ...] = ALPHAS,
+    num_base_stations: int = NUM_BASE_STATIONS,
+    num_epochs: int = 3,
+) -> None:
+    """Run the sweep; the keyword knobs shrink it for smoke tests."""
     print(
         f"{'operator':<10} {'alpha':>5} {'overbooking':>12} {'baseline':>9} "
         f"{'gain %':>8} {'admitted':>9} {'violations':>11}"
     )
     print("-" * 70)
-    for operator in OPERATORS:
-        for alpha in ALPHAS:
+    for operator in operators:
+        for alpha in alphas:
             scenario = homogeneous_scenario(
                 operator=operator,
                 template=EMBB_TEMPLATE,
@@ -35,8 +41,8 @@ def main() -> None:
                 mean_load_fraction=alpha,
                 relative_std=0.25,
                 penalty_factor=1.0,
-                num_epochs=3,
-                num_base_stations=NUM_BASE_STATIONS,
+                num_epochs=num_epochs,
+                num_base_stations=num_base_stations,
                 seed=1,
             )
             results = compare_policies(scenario, policies=("optimal", "no-overbooking"))

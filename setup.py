@@ -10,7 +10,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
-    install_requires=["numpy"],
+    install_requires=["numpy", "scipy", "networkx"],
     entry_points={
         "console_scripts": [
             "repro-experiments = repro.experiments.cli:main",

@@ -18,10 +18,24 @@ _LOAD_SERIES = "slice_load_mbps"
 
 
 class MonitoringService:
-    """Collects per-slice load samples and derives per-epoch peak histories."""
+    """Collects per-slice load samples and derives per-epoch peak histories.
 
-    def __init__(self, store: TimeSeriesStore | None = None):
-        self.store = store or TimeSeriesStore()
+    ``retention_epochs`` caps the per-series history kept by the backing
+    store, so the peak history handed to the Forecasting block covers at
+    most that many epochs.  It is mutually exclusive with an explicit
+    ``store`` (configure retention on the store itself in that case).
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore | None = None,
+        retention_epochs: int | None = None,
+    ):
+        if store is not None and retention_epochs is not None:
+            raise ValueError(
+                "pass either an explicit store or retention_epochs, not both"
+            )
+        self.store = store or TimeSeriesStore(retention_epochs=retention_epochs)
 
     # ------------------------------------------------------------------ #
     # Ingestion (called by the controllers / simulation engine)

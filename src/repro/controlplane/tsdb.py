@@ -33,11 +33,33 @@ class _Series:
         self.epochs.append(int(epoch))
         self.values.append(float(value))
 
+    def prune_before(self, min_epoch: int) -> None:
+        """Drop all samples with an epoch strictly below ``min_epoch``."""
+        cutoff = bisect_left(self.epochs, min_epoch)
+        if cutoff:
+            del self.epochs[:cutoff]
+            del self.values[:cutoff]
+
 
 class TimeSeriesStore:
-    """Append-only store of per-epoch samples, indexed by (name, tags)."""
+    """Append-only store of per-epoch samples, indexed by (name, tags).
 
-    def __init__(self) -> None:
+    ``retention_epochs`` bounds how much history each series keeps: after a
+    write at epoch ``t``, samples older than ``t - retention_epochs + 1`` are
+    dropped from that series.  The forecasting block only ever consumes a
+    trailing window (a few seasons of Holt-Winters history), so long-running
+    campaigns can cap the store's memory without changing any forecast.
+    Retention is per series and driven by that series' own latest epoch,
+    mirroring the retention policies of the InfluxDB deployment the paper's
+    implementation uses.
+    """
+
+    def __init__(self, retention_epochs: int | None = None) -> None:
+        if retention_epochs is not None and retention_epochs <= 0:
+            raise ValueError(
+                f"retention_epochs must be a positive integer or None, got {retention_epochs!r}"
+            )
+        self.retention_epochs = retention_epochs
         self._series: dict[tuple, _Series] = {}
 
     # ------------------------------------------------------------------ #
@@ -46,7 +68,10 @@ class TimeSeriesStore:
     ) -> None:
         """Append one sample to a series (created on first write)."""
         key = _series_key(name, tags)
-        self._series.setdefault(key, _Series()).append(epoch, value)
+        series = self._series.setdefault(key, _Series())
+        series.append(epoch, value)
+        if self.retention_epochs is not None:
+            series.prune_before(int(epoch) - self.retention_epochs + 1)
 
     def write_many(
         self,

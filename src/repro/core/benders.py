@@ -66,6 +66,34 @@ class _MasterState:
                 sel_matrix, selection.lower, selection.upper
             )
 
+        # Floor-footprint capacity surrogates.  Every admitted item must
+        # reserve at least its floor (constraint (9): z >= lambda_hat x, or
+        # the full SLA without overbooking) and the capacity coefficients are
+        # non-negative, so the minimal capacity usage of an admission vector
+        # x is A_x x + A_z (floor . x).  Projecting the capacity rows onto x
+        # this way is therefore *exact*: a master candidate satisfies the
+        # surrogate iff its slave LP is feasible.  Without it, the master
+        # explores the (exponentially symmetric) space of overloaded path
+        # combinations one weak phase-1 feasibility cut at a time -- the
+        # differential harness caught instances with binding transport
+        # capacity where the incumbent never appeared within hundreds of
+        # iterations.
+        capacity = problem.capacity_block()
+        floor = np.array(
+            [
+                item.lambda_hat_mbps if problem.options.overbooking else item.sla_mbps
+                for item in problem.items
+            ]
+        )
+        footprint = capacity.a_x + capacity.a_z.multiply(floor[np.newaxis, :])
+        self.capacity_surrogate = optimize.LinearConstraint(
+            sparse.hstack(
+                [footprint, sparse.csr_matrix((capacity.num_rows, 1))], format="csr"
+            ),
+            capacity.lower,
+            capacity.upper,
+        )
+
         self._cut_matrix: sparse.csr_matrix | None = None
         self._cut_rhs: list[float] = []
 
@@ -86,7 +114,7 @@ class _MasterState:
         self._cut_rhs.append(rhs)
 
     def constraints(self) -> list[optimize.LinearConstraint]:
-        constraints: list[optimize.LinearConstraint] = []
+        constraints: list[optimize.LinearConstraint] = [self.capacity_surrogate]
         if self.selection_constraint is not None:
             constraints.append(self.selection_constraint)
         if self._cut_matrix is not None:

@@ -99,8 +99,20 @@ class RunSpec:
         return spec_hash(self.as_dict())
 
     def label(self) -> str:
-        """Short human-readable identifier for status/progress output."""
-        params = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        """Short human-readable identifier for status/progress output.
+
+        Mapping-valued params (e.g. a whole scenario-family declaration)
+        render as their ``name`` field, or a short content hash, instead of
+        the full dict.
+        """
+
+        def compact(value: Any) -> Any:
+            if isinstance(value, Mapping):
+                name = value.get("name")
+                return str(name) if name is not None else f"<{spec_hash(value)[:8]}>"
+            return value
+
+        params = ",".join(f"{k}={compact(v)}" for k, v in sorted(self.params.items()))
         policy = f":{self.policy}" if self.policy else ""
         return f"{self.experiment}[{params}]{policy}"
 
@@ -168,6 +180,7 @@ _RUN_KIND_MODULES = {
     "path-stats": "repro.experiments.fig4_topologies",
     "solver-ablation": "repro.experiments.ablations",
     "forecaster-ablation": "repro.experiments.ablations",
+    "generated": "repro.scenarios.campaigns",
 }
 
 
@@ -268,8 +281,15 @@ def build_scenario(params: Mapping[str, Any], seed: int | None):
             relative_std=float(params.get("relative_std", 0.1)),
             seed=seed,
         )
+    if kind == "generated":
+        from repro.scenarios.family import ScenarioFamily
+        from repro.scenarios.generator import sample_scenario
+
+        family = ScenarioFamily.from_dict(params["family"])
+        return sample_scenario(family, seed=seed if seed is not None else 0)
     raise KeyError(
-        f"unknown scenario kind {kind!r}; expected homogeneous/heterogeneous/testbed"
+        f"unknown scenario kind {kind!r}; "
+        "expected homogeneous/heterogeneous/testbed/generated"
     )
 
 

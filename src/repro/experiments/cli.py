@@ -168,6 +168,27 @@ def _solver_ablation_factory(full: bool):
     return campaign, render
 
 
+def _generated_factory(full: bool):
+    from repro.scenarios import campaigns as generated_campaigns
+    from repro.scenarios.family import CHURN_FAMILY, DIFFERENTIAL_FAMILY
+
+    if full:
+        campaign = generated_campaigns.generated_campaign(
+            CHURN_FAMILY, num_scenarios=12, base_seed=7
+        )
+    else:
+        campaign = generated_campaigns.generated_campaign(
+            DIFFERENTIAL_FAMILY, num_scenarios=4, base_seed=7
+        )
+
+    def render(result: CampaignResult) -> str:
+        return generated_campaigns.format_generated(
+            generated_campaigns.reduce_generated(result)
+        )
+
+    return campaign, render
+
+
 def _forecaster_ablation_factory(full: bool):
     kwargs = (
         {}
@@ -213,6 +234,9 @@ CAMPAIGNS: dict[str, CampaignEntry] = {
         ),
         CampaignEntry(
             "forecaster-ablation", "forecaster choice on seasonal demand", _forecaster_ablation_factory
+        ),
+        CampaignEntry(
+            "generated", "randomized scenario families (stochastic generator)", _generated_factory
         ),
     )
 }

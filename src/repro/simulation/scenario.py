@@ -30,7 +30,7 @@ from repro.topology.operators import (
     testbed_topology,
 )
 from repro.traffic.patterns import DemandSpec
-from repro.utils.validation import ensure_in_range
+from repro.utils.validation import ensure_choice, ensure_in_range, ensure_positive_int
 
 #: Tenant counts used in the paper's simulations (75 for the Italian network
 #: because it has much more radio/transport capacity).
@@ -68,17 +68,17 @@ class Scenario:
     seed: int | None = None
 
     def __post_init__(self) -> None:
-        if self.num_epochs <= 0:
-            raise ValueError("num_epochs must be positive")
-        if self.samples_per_epoch <= 0:
-            raise ValueError("samples_per_epoch must be positive")
-        if self.forecast_mode not in ("oracle", "online"):
-            raise ValueError("forecast_mode must be 'oracle' or 'online'")
+        ensure_positive_int(self.num_epochs, "num_epochs")
+        ensure_positive_int(self.epochs_per_day, "epochs_per_day")
+        ensure_positive_int(self.samples_per_epoch, "samples_per_epoch")
+        ensure_positive_int(self.candidate_paths_per_pair, "candidate_paths_per_pair")
+        ensure_choice(self.forecast_mode, ("oracle", "online"), "forecast_mode")
         if not self.workloads:
             raise ValueError("a scenario needs at least one slice workload")
         names = [w.name for w in self.workloads]
         if len(set(names)) != len(names):
-            raise ValueError("workload slice names must be unique")
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"workload slice names must be unique, got duplicates {duplicates}")
 
     @property
     def requests(self) -> list[SliceRequest]:
@@ -131,6 +131,7 @@ def homogeneous_scenario(
     ``relative_std`` is ``sigma / lambda_bar`` (0, 1/4 or 1/2 in the paper).
     """
     ensure_in_range(mean_load_fraction, 0.0, 1.0, "mean_load_fraction")
+    ensure_positive_int(num_tenants, "num_tenants")
     topology = _resolve_topology(operator, num_base_stations, seed)
     spec = DemandSpec(mean_fraction=mean_load_fraction, relative_std=relative_std)
     workloads = tuple(
@@ -181,6 +182,7 @@ def heterogeneous_scenario(
     is fixed to ``0.2 * Lambda`` in the paper.
     """
     ensure_in_range(fraction_b, 0.0, 1.0, "fraction_b")
+    ensure_positive_int(num_tenants, "num_tenants")
     topology = _resolve_topology(operator, num_base_stations, seed)
     spec = DemandSpec(mean_fraction=mean_load_fraction, relative_std=relative_std)
     count_b = int(round(fraction_b * num_tenants))

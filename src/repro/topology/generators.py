@@ -177,6 +177,35 @@ def _distance(a: tuple[float, float], b: tuple[float, float]) -> float:
     return math.hypot(a[0] - b[0], a[1] - b[1])
 
 
+def degrade_link_capacities(
+    topology: NetworkTopology,
+    link_keys: list[tuple[str, str]],
+    capacity_factor: float,
+) -> NetworkTopology:
+    """Scale down the capacity of the given links in place and return the topology.
+
+    Models the degraded-capacity ("link failure") episodes of the generated
+    scenario families: a microwave hop in rain fade or a partial fibre cut
+    leaves the graph intact but shrinks the usable bandwidth of the affected
+    links by ``capacity_factor``.  The topology is re-validated so a scenario
+    can never start from a network where some base station lost all
+    connectivity to the compute units.
+    """
+    from dataclasses import replace as dataclass_replace
+
+    if not 0.0 < capacity_factor <= 1.0:
+        raise ValueError(
+            f"capacity_factor must be in (0, 1], got {capacity_factor!r}"
+        )
+    for key in link_keys:
+        link = topology.link(*key)
+        topology.replace_link(
+            dataclass_replace(link, capacity_mbps=link.capacity_mbps * capacity_factor)
+        )
+    topology.validate()
+    return topology
+
+
 def generate_operator_topology(
     profile: OperatorProfile, seed: int | None = None
 ) -> NetworkTopology:

@@ -67,6 +67,19 @@ class NetworkTopology:
             raise ValueError(f"duplicate link between {link.key}")
         self._links[link.key] = link
 
+    def replace_link(self, link: TransportLink) -> None:
+        """Swap an existing link for a new one between the same endpoints.
+
+        Used by degraded-capacity ("link failure") scenario variants, which
+        rescale the capacity of a sampled subset of links.  The link must
+        already exist; adding new edges goes through :meth:`add_link` so the
+        path-diversity structure of a generated topology cannot change
+        silently.
+        """
+        if link.key not in self._links:
+            raise KeyError(f"cannot replace unknown link {link.key}")
+        self._links[link.key] = link
+
     def _ensure_new_node(self, name: str) -> None:
         if self.has_node(name):
             raise ValueError(f"duplicate node name {name!r}")

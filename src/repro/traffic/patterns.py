@@ -12,10 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.slices import SliceRequest, SliceTemplate
-from repro.traffic.demand import DemandModel, DeterministicDemand, GaussianDemand
+from repro.traffic.demand import (
+    DemandModel,
+    DeterministicDemand,
+    GaussianDemand,
+    OnOffDemand,
+)
 from repro.traffic.seasonal import DEFAULT_DIURNAL_PROFILE, DiurnalProfile, SeasonalDemand
 from repro.utils.rng import derive_seed
-from repro.utils.validation import ensure_in_range
+from repro.utils.validation import ensure_in_range, ensure_probability
 
 
 @dataclass(frozen=True)
@@ -32,6 +37,17 @@ class DemandSpec:
     seasonal:
         When True the mean follows the diurnal profile (used by the testbed
         experiment and the forecasting ablation); otherwise it is stationary.
+    bursty:
+        When True the mean regime-switches through a two-state Markov chain
+        (:class:`repro.traffic.demand.OnOffDemand`): "on" epochs load at
+        ``mean_fraction * Lambda``, "off" epochs drop to ``off_mean_fraction
+        * Lambda``.  Used by the generated scenario families to stress the
+        forecasting block; mutually exclusive with ``seasonal``.
+    off_mean_fraction:
+        Mean load (as a fraction of the SLA) during "off" epochs of a bursty
+        spec; must not exceed ``mean_fraction``.
+    p_on_to_off / p_off_to_on:
+        Per-epoch transition probabilities of the bursty regime chain.
     """
 
     mean_fraction: float = 0.5
@@ -39,10 +55,27 @@ class DemandSpec:
     seasonal: bool = False
     profile: DiurnalProfile = DEFAULT_DIURNAL_PROFILE
     epochs_per_day: int = 24
+    bursty: bool = False
+    off_mean_fraction: float = 0.05
+    p_on_to_off: float = 0.2
+    p_off_to_on: float = 0.2
 
     def __post_init__(self) -> None:
         ensure_in_range(self.mean_fraction, 0.0, 1.0, "mean_fraction")
         ensure_in_range(self.relative_std, 0.0, 1.0, "relative_std")
+        ensure_in_range(self.off_mean_fraction, 0.0, 1.0, "off_mean_fraction")
+        if self.bursty:
+            # Only a bursty spec interprets off_mean_fraction; the "off" regime
+            # must not carry more load than the "on" regime.
+            ensure_in_range(
+                self.off_mean_fraction, 0.0, self.mean_fraction, "off_mean_fraction"
+            )
+        ensure_probability(self.p_on_to_off, "p_on_to_off")
+        ensure_probability(self.p_off_to_on, "p_off_to_on")
+        if self.seasonal and self.bursty:
+            raise ValueError(
+                "a demand spec cannot be both seasonal and bursty; pick one regime"
+            )
 
 
 def demand_for_template(
@@ -63,6 +96,16 @@ def demand_for_template(
     if deterministic:
         return DeterministicDemand(
             mean_mbps=mean, sla_mbps=template.sla_mbps, seed=slice_seed
+        )
+    if spec.bursty:
+        return OnOffDemand(
+            on_mean_mbps=mean,
+            off_mean_mbps=spec.off_mean_fraction * template.sla_mbps,
+            std_mbps=relative_std * mean,
+            sla_mbps=template.sla_mbps,
+            p_on_to_off=spec.p_on_to_off,
+            p_off_to_on=spec.p_off_to_on,
+            seed=slice_seed,
         )
     if spec.seasonal:
         return SeasonalDemand(

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.controlplane.monitoring import MonitoringService
+from repro.controlplane.tsdb import TimeSeriesStore
 
 
 class TestPeakHistory:
@@ -44,3 +45,85 @@ class TestPeakHistory:
         monitoring.record_samples("s", "bs-1", 0, [5.0, 7.0])
         assert monitoring.mean_load("s") == pytest.approx(4.0)
         assert monitoring.mean_load("ghost") == 0.0
+
+
+class TestRetention:
+    def test_peak_history_covers_the_retained_window_only(self):
+        monitoring = MonitoringService(retention_epochs=4)
+        for epoch in range(10):
+            monitoring.record_samples("s", "bs-0", epoch, [float(epoch)])
+        history = monitoring.peak_history("s", base_station="bs-0")
+        assert history.tolist() == [6.0, 7.0, 8.0, 9.0]
+        assert monitoring.num_observed_epochs("s") == 4
+
+    def test_explicit_store_and_retention_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            MonitoringService(store=TimeSeriesStore(), retention_epochs=3)
+
+
+class TestForecasterHandoff:
+    """Monitoring -> Forecasting: the peak history must feed every
+    fallback tier of the forecasting block with usable inputs."""
+
+    def _record_diurnal_history(self, monitoring, slice_name, num_epochs, peak=40.0):
+        for epoch in range(num_epochs):
+            level = peak * (0.5 + 0.5 * np.sin(2 * np.pi * epoch / 24.0) ** 2)
+            monitoring.record_samples(
+                slice_name, "bs-0", epoch, [level * 0.9, level, level * 0.95]
+            )
+
+    def test_history_drives_holt_winters_once_two_seasons_exist(self):
+        from repro.controlplane.orchestrator import ForecastingBlock
+        from repro.core.slices import EMBB_TEMPLATE, SliceRequest
+        from repro.forecasting.holt_winters import HoltWintersForecaster
+
+        monitoring = MonitoringService()
+        self._record_diurnal_history(monitoring, "s", num_epochs=49)
+        block = ForecastingBlock(primary=HoltWintersForecaster(season_length=24))
+        request = SliceRequest(name="s", template=EMBB_TEMPLATE)
+        history = monitoring.peak_history("s")
+        assert history.size == 49
+        assert block.primary.can_forecast(history)
+        forecast = block.forecast_for(request, history)
+        assert 0.0 < forecast.lambda_hat_mbps <= request.sla_mbps
+        assert 0.0 < forecast.sigma_hat <= 1.0
+
+    def test_short_history_falls_back_without_full_sla_pessimism(self):
+        from repro.controlplane.orchestrator import ForecastingBlock
+        from repro.core.slices import EMBB_TEMPLATE, SliceRequest
+        from repro.forecasting.holt_winters import HoltWintersForecaster
+
+        monitoring = MonitoringService()
+        self._record_diurnal_history(monitoring, "s", num_epochs=5)
+        block = ForecastingBlock(primary=HoltWintersForecaster(season_length=24))
+        request = SliceRequest(name="s", template=EMBB_TEMPLATE)
+        history = monitoring.peak_history("s")
+        assert not block.primary.can_forecast(history)
+        forecast = block.forecast_for(request, history)
+        # Fallback tiers engage: the forecast tracks the observed ~40 Mb/s
+        # peaks instead of the pessimistic full-SLA reservation.
+        assert forecast.lambda_hat_mbps < request.sla_mbps * 0.999
+
+    def test_retention_bounds_what_the_forecaster_sees(self):
+        monitoring = MonitoringService(retention_epochs=24)
+        self._record_diurnal_history(monitoring, "s", num_epochs=100)
+        history = monitoring.peak_history("s")
+        assert history.size == 24
+
+    def test_orchestrator_observe_load_feeds_the_handoff(self):
+        from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig
+        from repro.core.milp_solver import DirectMILPSolver
+        from repro.core.slices import EMBB_TEMPLATE, SliceRequest
+        from tests.conftest import build_tiny_topology
+
+        orchestrator = E2EOrchestrator(
+            topology=build_tiny_topology(),
+            solver=DirectMILPSolver(),
+            config=OrchestratorConfig(epochs_per_day=4),
+        )
+        request = SliceRequest(name="s", template=EMBB_TEMPLATE)
+        for epoch in range(9):
+            orchestrator.observe_load("s", "bs-0", epoch, [20.0, 21.0, 19.5])
+        forecast = orchestrator.forecast_for(request)
+        assert forecast.lambda_hat_mbps == pytest.approx(21.0, rel=0.25)
+        assert 0.0 < forecast.sigma_hat <= 1.0

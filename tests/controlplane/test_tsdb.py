@@ -67,3 +67,66 @@ class TestAggregation:
         assert store.series_names() == [("load", {"slice": "a"})]
         store.clear()
         assert len(store) == 0
+
+
+class TestQueryWindows:
+    def test_window_bounds_are_inclusive(self):
+        store = TimeSeriesStore()
+        for epoch in range(6):
+            store.write("load", epoch, float(epoch))
+        assert store.values("load", start_epoch=1, end_epoch=3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_window_with_repeated_epochs_keeps_all_samples(self):
+        store = TimeSeriesStore()
+        store.write_many("load", 0, [1.0, 2.0])
+        store.write_many("load", 1, [3.0, 4.0])
+        store.write_many("load", 2, [5.0])
+        assert store.values("load", start_epoch=1, end_epoch=1).tolist() == [3.0, 4.0]
+
+    def test_empty_window_returns_empty(self):
+        store = TimeSeriesStore()
+        store.write("load", 0, 1.0)
+        assert store.values("load", start_epoch=5).size == 0
+        assert store.values("load", end_epoch=-1).size == 0
+
+    def test_window_beyond_data_clamps(self):
+        store = TimeSeriesStore()
+        store.write("load", 3, 7.0)
+        assert store.values("load", start_epoch=0, end_epoch=100).tolist() == [7.0]
+
+
+class TestRetention:
+    def test_old_epochs_are_dropped(self):
+        store = TimeSeriesStore(retention_epochs=3)
+        for epoch in range(10):
+            store.write("load", epoch, float(epoch))
+        assert store.values("load").tolist() == [7.0, 8.0, 9.0]
+
+    def test_retention_is_per_series(self):
+        store = TimeSeriesStore(retention_epochs=2)
+        for epoch in range(5):
+            store.write("load", epoch, float(epoch), tags={"slice": "a"})
+        store.write("load", 0, 99.0, tags={"slice": "b"})
+        # Series "b" only saw epoch 0; its own window keeps it alive even
+        # though series "a" has advanced to epoch 4.
+        assert store.values("load", tags={"slice": "b"}).tolist() == [99.0]
+        assert store.values("load", tags={"slice": "a"}).tolist() == [3.0, 4.0]
+
+    def test_retention_keeps_every_sample_of_retained_epochs(self):
+        store = TimeSeriesStore(retention_epochs=2)
+        store.write_many("load", 0, [1.0, 2.0])
+        store.write_many("load", 1, [3.0, 4.0])
+        store.write_many("load", 2, [5.0, 6.0])
+        assert store.values("load").tolist() == [3.0, 4.0, 5.0, 6.0]
+        assert store.per_epoch_aggregate("load", aggregate="max") == {1: 4.0, 2: 6.0}
+
+    def test_unbounded_by_default(self):
+        store = TimeSeriesStore()
+        for epoch in range(50):
+            store.write("load", epoch, 1.0)
+        assert store.values("load").size == 50
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_non_positive_retention_rejected(self, bad):
+        with pytest.raises(ValueError, match="retention_epochs"):
+            TimeSeriesStore(retention_epochs=bad)

@@ -1,0 +1,51 @@
+"""Differential checking of the solver layer on generated scenarios.
+
+For every sampled small scenario, the Benders decomposition must reproduce
+the exact MILP optimum (Theorem 2) within 1e-6 relative tolerance, and the
+overbooking optimum must dominate the no-overbooking baseline.  This is the
+refinement-check that caught the pre-surrogate Benders failure mode: on
+transport-constrained instances the master cycled through weak phase-1
+feasibility cuts and never produced an incumbent (fixed by the
+floor-footprint capacity surrogates in ``_MasterState``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import DIFFERENTIAL_FAMILY, differential_check, sample_scenario
+from tests.differential.conftest import (
+    BASE_SEED,
+    NUM_DIFFERENTIAL_SCENARIOS,
+    seed_note,
+)
+
+pytestmark = pytest.mark.differential
+
+SEEDS = [BASE_SEED + index for index in range(NUM_DIFFERENTIAL_SCENARIOS)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_benders_matches_milp_and_dominates_baseline(seed):
+    scenario = sample_scenario(DIFFERENTIAL_FAMILY, seed=seed)
+    outcome = differential_check(scenario, rel_tolerance=1e-6)
+    assert outcome.benders_matches_milp, (
+        f"Benders disagrees with the exact MILP: {outcome.describe()} {seed_note(seed)}"
+    )
+    assert outcome.dominates_baseline, (
+        f"overbooking fails to dominate the baseline: {outcome.describe()} "
+        f"{seed_note(seed)}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_differential_outcome_is_reproducible(seed):
+    """The whole check is a pure function of (family, seed)."""
+    first = differential_check(sample_scenario(DIFFERENTIAL_FAMILY, seed=seed))
+    second = differential_check(sample_scenario(DIFFERENTIAL_FAMILY, seed=seed))
+    assert first == second, seed_note(seed)
+
+
+def test_family_covers_enough_scenarios():
+    """The sweep size stays at or above the 25-scenario acceptance bar."""
+    assert len(SEEDS) >= 25

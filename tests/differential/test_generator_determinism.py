@@ -1,0 +1,141 @@
+"""Byte-determinism and validity of the stochastic scenario generator."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    CHURN_FAMILY,
+    DIFFERENTIAL_FAMILY,
+    FAMILIES,
+    SEASONAL_ONLINE_FAMILY,
+    ScenarioFamily,
+    sample_scenario,
+    scenario_fingerprint,
+    scenario_payload,
+)
+from repro.traffic.patterns import demand_for_request
+from tests.differential.conftest import BASE_SEED, seed_note
+
+ALL_FAMILIES = (DIFFERENTIAL_FAMILY, CHURN_FAMILY, SEASONAL_ONLINE_FAMILY)
+
+
+class TestByteDeterminism:
+    @pytest.mark.parametrize("family", ALL_FAMILIES, ids=lambda f: f.name)
+    @pytest.mark.parametrize("offset", [0, 1, 17])
+    def test_same_spec_and_seed_is_byte_identical(self, family, offset):
+        seed = BASE_SEED + offset
+        first = sample_scenario(family, seed=seed)
+        second = sample_scenario(family, seed=seed)
+        bytes_a = json.dumps(scenario_payload(first), sort_keys=True).encode()
+        bytes_b = json.dumps(scenario_payload(second), sort_keys=True).encode()
+        assert bytes_a == bytes_b, seed_note(seed)
+        assert scenario_fingerprint(first) == scenario_fingerprint(second)
+
+    def test_distinct_seeds_sample_distinct_scenarios(self):
+        fingerprints = {
+            scenario_fingerprint(sample_scenario(DIFFERENTIAL_FAMILY, seed=BASE_SEED + i))
+            for i in range(10)
+        }
+        assert len(fingerprints) == 10
+
+    def test_distinct_family_content_samples_distinct_scenarios(self):
+        tweaked = replace(DIFFERENTIAL_FAMILY, capacity_spread=(0.9, 1.1))
+        assert tweaked.family_hash != DIFFERENTIAL_FAMILY.family_hash
+        assert scenario_fingerprint(
+            sample_scenario(tweaked, seed=BASE_SEED)
+        ) != scenario_fingerprint(sample_scenario(DIFFERENTIAL_FAMILY, seed=BASE_SEED))
+
+    def test_demand_traces_replay_identically(self):
+        seed = BASE_SEED + 3
+        traces = []
+        for _ in range(2):
+            scenario = sample_scenario(CHURN_FAMILY, seed=seed)
+            workload = scenario.workloads[0]
+            model = demand_for_request(workload.request, workload.demand, seed=scenario.seed)
+            traces.append(model.peak_series(scenario.num_epochs, scenario.samples_per_epoch))
+        np.testing.assert_array_equal(traces[0], traces[1])
+
+    def test_family_round_trips_through_json(self):
+        for family in ALL_FAMILIES:
+            payload = json.loads(json.dumps(family.as_dict()))
+            rebuilt = ScenarioFamily.from_dict(payload)
+            assert rebuilt == family
+            assert rebuilt.family_hash == family.family_hash
+
+
+class TestSampledScenarioValidity:
+    @pytest.mark.parametrize("family", ALL_FAMILIES, ids=lambda f: f.name)
+    def test_samples_respect_the_declared_ranges(self, family):
+        for offset in range(20):
+            seed = BASE_SEED + offset
+            scenario = sample_scenario(family, seed=seed)
+            note = seed_note(seed)
+            bs_lo, bs_hi = family.num_base_stations
+            assert bs_lo <= len(scenario.topology.base_station_names) <= bs_hi, note
+            tenants_lo, tenants_hi = family.num_tenants
+            assert tenants_lo <= len(scenario.workloads) <= tenants_hi, note
+            epochs_lo, epochs_hi = family.num_epochs
+            assert epochs_lo <= scenario.num_epochs <= epochs_hi, note
+            assert scenario.forecast_mode == family.forecast_mode, note
+            assert scenario.record_usage == family.record_usage, note
+            for workload in scenario.workloads:
+                request = workload.request
+                assert 0 <= request.arrival_epoch < scenario.num_epochs, note
+                assert request.duration_epochs >= 1, note
+                assert (
+                    request.arrival_epoch + request.duration_epochs
+                    <= scenario.num_epochs
+                ), note
+                assert request.penalty_factor in family.penalty_factors, note
+                lo, hi = family.mean_load_fraction
+                assert lo <= workload.demand.mean_fraction <= hi, note
+                assert not (workload.demand.seasonal and workload.demand.bursty), note
+
+    def test_no_churn_family_keeps_everyone_for_the_whole_run(self):
+        scenario = sample_scenario(DIFFERENTIAL_FAMILY, seed=BASE_SEED)
+        for workload in scenario.workloads:
+            assert workload.request.arrival_epoch == 0
+            assert workload.request.duration_epochs == scenario.num_epochs
+
+    def test_churn_family_produces_arrivals_and_departures(self):
+        arrivals = departures = 0
+        for offset in range(12):
+            scenario = sample_scenario(CHURN_FAMILY, seed=BASE_SEED + offset)
+            for workload in scenario.workloads:
+                if workload.request.arrival_epoch > 0:
+                    arrivals += 1
+                if workload.request.expires_at() < scenario.num_epochs:
+                    departures += 1
+        assert arrivals > 0, "arrival_window_fraction=0.6 never produced a mid-run arrival"
+        assert departures > 0, "min_duration_fraction=0.3 never produced a departure"
+
+    def test_degradation_reduces_link_capacity(self):
+        from repro.scenarios.generator import _sample_topology
+        from repro.utils.rng import make_rng
+
+        degraded_family = replace(
+            DIFFERENTIAL_FAMILY, degradation_probability=1.0, name="always-degraded"
+        )
+        pristine_family = replace(
+            degraded_family, degradation_probability=0.0, name="never-degraded"
+        )
+        # Identically-seeded generators draw the same profile and topology;
+        # the only divergence is the degradation episode applied at the end,
+        # so the comparison is link-by-link deterministic.
+        degraded = _sample_topology(degraded_family, make_rng(BASE_SEED + 123))
+        pristine = _sample_topology(pristine_family, make_rng(BASE_SEED + 123))
+        degraded_caps = {link.key: link.capacity_mbps for link in degraded.links}
+        pristine_caps = {link.key: link.capacity_mbps for link in pristine.links}
+        assert set(degraded_caps) == set(pristine_caps)
+        assert all(
+            degraded_caps[key] <= pristine_caps[key] + 1e-9 for key in pristine_caps
+        )
+        assert sum(degraded_caps.values()) < sum(pristine_caps.values())
+
+    def test_presets_registry_is_consistent(self):
+        assert set(FAMILIES) == {family.name for family in ALL_FAMILIES}

@@ -1,0 +1,160 @@
+"""Randomized invariant suite: generator-driven properties of full runs.
+
+Hypothesis draws small scenario families (population, demand regime, churn
+and failure knobs) plus seeds; each drawn scenario is simulated end-to-end
+and the run must satisfy the system invariants the paper's accounting relies
+on:
+
+* capacity is never exceeded after statistical multiplexing,
+* SLA/penalty accounting is consistent with the admission outcome,
+* the revenue decomposition sums (net = reward - penalty, per epoch and in
+  aggregate).
+
+``derandomize=True`` keeps the suite deterministic per code version; the
+scenario-level randomness is still seeded by ``REPRO_TEST_SEED`` through
+``BASE_SEED`` so CI can replay any failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import ScenarioFamily, sample_scenario
+from repro.simulation.runner import run_scenario
+from tests.differential.conftest import BASE_SEED, seed_note
+
+pytestmark = pytest.mark.differential
+
+_CAPACITY_SLACK = 1e-6
+
+
+@st.composite
+def small_families(draw) -> ScenarioFamily:
+    """Tiny-but-varied families: every knob group gets exercised."""
+    num_tenants_hi = draw(st.integers(2, 5))
+    seasonal = draw(st.sampled_from([0.0, 0.5]))
+    bursty = draw(st.sampled_from([0.0, 0.3]))
+    return ScenarioFamily(
+        name="hypothesis-small",
+        operator_profiles=(draw(st.sampled_from(["romanian", "swiss", "italian"])),),
+        num_base_stations=(2, 3),
+        num_tenants=(2, num_tenants_hi),
+        arrival_window_fraction=draw(st.sampled_from([0.0, 0.5])),
+        min_duration_fraction=draw(st.sampled_from([0.4, 1.0])),
+        mean_load_fraction=(0.15, draw(st.sampled_from([0.5, 0.8]))),
+        relative_std=(0.05, 0.4),
+        seasonal_probability=seasonal,
+        bursty_probability=bursty,
+        degradation_probability=draw(st.sampled_from([0.0, 0.5])),
+        num_epochs=(2, 4),
+        samples_per_epoch=4,
+        record_usage=True,
+    )
+
+
+def _run(family: ScenarioFamily, seed: int):
+    scenario = sample_scenario(family, seed=seed)
+    return scenario, run_scenario(scenario, policy="optimal")
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(family=small_families(), offset=st.integers(0, 10_000))
+def test_capacity_never_exceeded_post_multiplexing(family, offset):
+    seed = BASE_SEED + offset
+    scenario, result = _run(family, seed)
+    note = seed_note(seed)
+    for record in result.epoch_records:
+        for domain in (record.radio_usage, record.transport_usage, record.compute_usage):
+            for key, usage in domain.items():
+                assert usage.used <= usage.capacity + _CAPACITY_SLACK, (
+                    f"{key}: served {usage.used} exceeds capacity {usage.capacity} "
+                    f"at epoch {record.epoch} of {scenario.name} {note}"
+                )
+                assert usage.reserved <= usage.capacity + _CAPACITY_SLACK, (
+                    f"{key}: reserved {usage.reserved} exceeds capacity "
+                    f"{usage.capacity} at epoch {record.epoch} {note}"
+                )
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(family=small_families(), offset=st.integers(0, 10_000))
+def test_sla_accounting_consistent_with_admissions(family, offset):
+    seed = BASE_SEED + offset
+    scenario, result = _run(family, seed)
+    note = seed_note(seed)
+    workload_names = {workload.name for workload in scenario.workloads}
+    admitted = set(result.final_admitted)
+    rejected = set(result.final_rejected)
+    assert not admitted & rejected, note
+    assert admitted | rejected <= workload_names, note
+    assert result.num_admitted == len(result.final_admitted), note
+    # Rewards and penalties accrue only for slices that were provisioned.
+    report = result.revenue
+    assert set(report.per_slice_reward) <= workload_names, note
+    assert set(report.per_slice_penalty) <= set(report.per_slice_reward), note
+    assert 0 <= report.violated_samples <= report.total_samples, note
+    assert 0.0 <= report.violation_probability <= 1.0, note
+    for fraction in report.drop_fractions:
+        assert 0.0 <= fraction <= 1.0 + 1e-9, note
+    if report.violated_samples == 0:
+        # No violated monitoring sample means every per-BS deficit stayed
+        # below the violation tolerance, so penalties are negligible.
+        assert report.total_penalty <= 1e-3, note
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(family=small_families(), offset=st.integers(0, 10_000))
+def test_revenue_decomposition_sums(family, offset):
+    seed = BASE_SEED + offset
+    scenario, result = _run(family, seed)
+    note = seed_note(seed)
+    report = result.revenue
+    assert result.net_revenue == pytest.approx(
+        report.total_reward - report.total_penalty, abs=1e-9
+    ), note
+    assert result.net_revenue == pytest.approx(
+        float(np.sum(report.per_epoch_net)), abs=1e-9
+    ), note
+    for epoch_revenue in report.epochs:
+        assert epoch_revenue.net == pytest.approx(
+            epoch_revenue.reward - epoch_revenue.penalty, abs=1e-12
+        ), note
+    assert report.total_reward == pytest.approx(
+        sum(report.per_slice_reward.values()), abs=1e-9
+    ), note
+    assert report.total_penalty == pytest.approx(
+        sum(report.per_slice_penalty.values()), abs=1e-9
+    ), note
+    summary = result.summary()
+    assert summary["net_revenue"] == pytest.approx(result.net_revenue), note
+    assert summary["epochs"] == len(report.epochs), note
+
+
+@settings(max_examples=4, deadline=None, derandomize=True)
+@given(offset=st.integers(0, 10_000))
+def test_policies_agree_on_replayed_demand(offset):
+    """Paired runs: the baseline replays the same demand traces, so its
+    reward never exceeds what the (optimal) overbooking policy books."""
+    seed = BASE_SEED + offset
+    family = ScenarioFamily(
+        name="hypothesis-paired",
+        operator_profiles=("swiss",),
+        num_base_stations=(2, 2),
+        num_tenants=(3, 5),
+        mean_load_fraction=(0.2, 0.6),
+        num_epochs=(2, 3),
+        samples_per_epoch=4,
+    )
+    scenario = sample_scenario(family, seed=seed)
+    optimal = run_scenario(scenario, policy="optimal")
+    baseline = run_scenario(replace(scenario, name=scenario.name + ":baseline"),
+                            policy="no-overbooking")
+    note = seed_note(seed)
+    # The baseline's admitted set is overbooking-feasible at full SLA with
+    # zero risk, so the overbooking optimum books at least as much reward.
+    # (Admission *counts* can legitimately differ either way.)
+    assert baseline.revenue.total_reward <= optimal.revenue.total_reward + 1e-9, note

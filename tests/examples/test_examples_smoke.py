@@ -1,0 +1,59 @@
+"""Smoke tests for the examples/ scripts: import and run with tiny parameters.
+
+The examples are living documentation, so API drift there should fail the
+suite (and CI) rather than a user's first session.  Each script is loaded
+straight from its file (examples/ is intentionally not a package) and its
+``main`` runs shrunk to seconds; the assertions only pin the output shape,
+not the numbers.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.smoke
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs_and_compares_policies(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "overbooking" in out.lower()
+
+
+def test_operator_revenue_sweep_tiny_grid(capsys):
+    load_example("operator_revenue_sweep").main(
+        operators=("swiss",), alphas=(0.5,), num_base_stations=3, num_epochs=2
+    )
+    out = capsys.readouterr().out
+    assert "swiss" in out
+    assert "gain %" in out
+
+
+def test_forecasting_and_orchestration_tiny(capsys):
+    load_example("forecasting_and_orchestration").main(num_days=3, num_epochs=2)
+    out = capsys.readouterr().out
+    assert "holt-winters" in out
+    assert "epoch 0" in out
+
+
+def test_dynamic_testbed_day_tiny(capsys):
+    load_example("dynamic_testbed_day").main(num_epochs=4, seed=3)
+    out = capsys.readouterr().out
+    assert "Admission outcome" in out
+    assert "no-overbooking" in out

@@ -3,9 +3,13 @@
 import pytest
 
 from repro.utils.validation import (
+    ensure_choice,
     ensure_in_range,
     ensure_non_negative,
+    ensure_non_negative_int,
+    ensure_ordered_pair,
     ensure_positive,
+    ensure_positive_int,
     ensure_probability,
 )
 
@@ -46,3 +50,141 @@ class TestEnsureProbability:
     def test_rejects_above_one(self):
         with pytest.raises(ValueError):
             ensure_probability(2.0, "p")
+
+
+class TestUniformErrorContract:
+    """Every helper raises ValueError whose message names the argument,
+    states the admissible values and quotes what was received."""
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: ensure_positive(-1.0, "alpha"),
+            lambda: ensure_non_negative(-1.0, "alpha"),
+            lambda: ensure_in_range(-1.0, 0.0, 1.0, "alpha"),
+            lambda: ensure_probability(-1.0, "alpha"),
+            lambda: ensure_positive_int(-1, "alpha"),
+            lambda: ensure_non_negative_int(-1, "alpha"),
+        ],
+        ids=[
+            "positive",
+            "non_negative",
+            "in_range",
+            "probability",
+            "positive_int",
+            "non_negative_int",
+        ],
+    )
+    def test_message_names_argument_and_value(self, call):
+        with pytest.raises(ValueError) as excinfo:
+            call()
+        message = str(excinfo.value)
+        assert "alpha" in message
+        assert "-1" in message
+
+    def test_in_range_message_states_the_bounds(self):
+        with pytest.raises(ValueError, match=r"x must be in \[0\.0, 1\.0\], got 1\.5"):
+            ensure_in_range(1.5, 0.0, 1.0, "x")
+
+    @pytest.mark.parametrize("value", [None, "3", [], float("nan")])
+    def test_non_numeric_inputs_raise_value_error_not_type_error(self, value):
+        for helper in (ensure_positive, ensure_non_negative, ensure_probability):
+            with pytest.raises(ValueError, match="x must be"):
+                helper(value, "x")
+        with pytest.raises(ValueError, match="x must be"):
+            ensure_in_range(value, 0.0, 1.0, "x")
+
+    def test_booleans_are_not_numbers(self):
+        with pytest.raises(ValueError, match="real number"):
+            ensure_positive(True, "flag")
+
+    def test_returns_are_floats(self):
+        assert isinstance(ensure_in_range(1, 0, 2, "x"), float)
+        assert isinstance(ensure_positive(2, "x"), float)
+
+
+class TestEnsureInts:
+    def test_accepts_integral_floats(self):
+        assert ensure_positive_int(3.0, "n") == 3
+        assert ensure_non_negative_int(0.0, "n") == 0
+
+    @pytest.mark.parametrize("value", [0, -2, 2.5, "3", None, True])
+    def test_positive_int_rejections(self, value):
+        with pytest.raises(ValueError, match="n must be a positive integer"):
+            ensure_positive_int(value, "n")
+
+    @pytest.mark.parametrize("value", [-1, 2.5, "3", None])
+    def test_non_negative_int_rejections(self, value):
+        with pytest.raises(ValueError, match="n must be a non-negative integer"):
+            ensure_non_negative_int(value, "n")
+
+
+class TestEnsureChoice:
+    def test_accepts_member(self):
+        assert ensure_choice("oracle", ("oracle", "online"), "mode") == "oracle"
+
+    def test_rejects_non_member_with_choices_in_message(self):
+        with pytest.raises(ValueError, match=r"mode must be one of \('oracle', 'online'\), got 'psychic'"):
+            ensure_choice("psychic", ("oracle", "online"), "mode")
+
+
+class TestEnsureOrderedPair:
+    def test_accepts_lists_and_tuples(self):
+        assert ensure_ordered_pair([1, 2], "r") == (1.0, 2.0)
+        assert ensure_ordered_pair((0.5, 0.5), "r") == (0.5, 0.5)
+
+    @pytest.mark.parametrize("value", [(2, 1), (1,), (1, 2, 3), "ab", 5, (0.0, float("nan"))])
+    def test_rejections(self, value):
+        with pytest.raises(ValueError, match="r"):
+            ensure_ordered_pair(value, "r")
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError, match=r"lie within"):
+            ensure_ordered_pair((0.5, 1.5), "r", low=0.0, high=1.0)
+
+
+class TestScenarioConstructorMessages:
+    """The scenario layer surfaces the same uniform errors."""
+
+    def test_scenario_rejects_bad_epoch_counts_with_value(self):
+        from repro.simulation.scenario import homogeneous_scenario
+        from repro.core.slices import EMBB_TEMPLATE
+
+        with pytest.raises(ValueError, match="num_tenants must be a positive integer, got 0"):
+            homogeneous_scenario(
+                "swiss",
+                EMBB_TEMPLATE,
+                num_tenants=0,
+                mean_load_fraction=0.5,
+                num_base_stations=2,
+            )
+
+    def test_scenario_rejects_out_of_range_alpha_with_value(self):
+        from repro.simulation.scenario import homogeneous_scenario
+        from repro.core.slices import EMBB_TEMPLATE
+
+        with pytest.raises(ValueError, match=r"mean_load_fraction must be in \[0\.0, 1\.0\], got 1\.2"):
+            homogeneous_scenario(
+                "swiss",
+                EMBB_TEMPLATE,
+                num_tenants=2,
+                mean_load_fraction=1.2,
+                num_base_stations=2,
+            )
+
+    def test_scenario_rejects_bad_forecast_mode_with_choices(self):
+        from repro.simulation.scenario import testbed_scenario
+        from dataclasses import replace
+
+        scenario = testbed_scenario(num_epochs=2)
+        with pytest.raises(ValueError, match="forecast_mode must be one of"):
+            replace(scenario, forecast_mode="psychic")
+
+    def test_duplicate_workload_names_are_listed(self):
+        from dataclasses import replace
+        from repro.simulation.scenario import testbed_scenario
+
+        scenario = testbed_scenario(num_epochs=2)
+        duplicated = scenario.workloads + (scenario.workloads[0],)
+        with pytest.raises(ValueError, match=r"duplicates \['uRLLC1'\]"):
+            replace(scenario, workloads=duplicated)
