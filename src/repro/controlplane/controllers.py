@@ -38,9 +38,8 @@ class RanController:
         the stale ones could transiently exceed the carrier size even though
         the final allocation is feasible.
         """
+        self.clear()
         for bs_name, enforcer in self.enforcers.items():
-            for slice_name in list(enforcer.shares()):
-                enforcer.revoke(slice_name)
             for slice_name, alloc in decision.allocations.items():
                 if not alloc.accepted:
                     continue
@@ -54,6 +53,12 @@ class RanController:
                     max(0.0, enforcer.free_prbs) / 5.0
                 )
                 enforcer.grant_bitrate(slice_name, min(mbps, grantable_mbps))
+
+    def clear(self) -> None:
+        """Revoke every PRB share (no slice is entitled to radio resources)."""
+        for enforcer in self.enforcers.values():
+            for slice_name in list(enforcer.shares()):
+                enforcer.revoke(slice_name)
 
     def served_bitrate(self, base_station: str, slice_name: str, offered_mbps: float) -> float:
         """Traffic the air interface actually carries for a slice at one BS."""
@@ -79,6 +84,10 @@ class TransportController:
     def apply(self, problem: ACRRProblem, decision: OrchestrationDecision) -> None:
         self.reservations_mbps = decision.transport_reservations_mbps(problem)
 
+    def clear(self) -> None:
+        """Tear down every per-link bandwidth reservation."""
+        self.reservations_mbps = {link.key: {} for link in self.topology.links}
+
     def link_reservation(self, link_key: tuple[str, str]) -> float:
         key = tuple(sorted(link_key))
         return float(sum(self.reservations_mbps.get(key, {}).values()))
@@ -100,6 +109,10 @@ class CloudController:
 
     def apply(self, problem: ACRRProblem, decision: OrchestrationDecision) -> None:
         self.reservations_cpus = decision.compute_reservations_cpus(problem)
+
+    def clear(self) -> None:
+        """Release every CPU reservation."""
+        self.reservations_cpus = {cu.name: {} for cu in self.topology.compute_units}
 
     def cu_reservation(self, compute_unit: str) -> float:
         return float(sum(self.reservations_cpus.get(compute_unit, {}).values()))
@@ -130,3 +143,14 @@ class ControllerSet:
         self.ran.apply(problem, decision)
         self.transport.apply(problem, decision)
         self.cloud.apply(problem, decision)
+
+    def clear(self) -> None:
+        """Release every reservation in every domain.
+
+        Called by the orchestrator on an idle epoch (no active or pending
+        slice): without it, the controllers would keep enforcing the last
+        decision's reservations forever after the final slice expired.
+        """
+        self.ran.clear()
+        self.transport.clear()
+        self.cloud.clear()

@@ -6,6 +6,13 @@ of each slice's network load.  The orchestrator only consumes the per-epoch
 reserving for the peak minimises the under-allocation footprint.  This module
 stores the raw samples (per slice and base station) in the time-series store
 and exposes the per-slice peak history that feeds the Forecasting block.
+
+The peak history is served from an incremental cache: the store maintains
+per-epoch maxima as samples arrive (see :mod:`repro.controlplane.tsdb`), and
+the cross-base-station merge performed here is memoised against the backing
+series' version counters, so a steady-state epoch whose slices saw no new
+samples pays a handful of dictionary lookups instead of re-aggregating raw
+samples.
 """
 
 from __future__ import annotations
@@ -35,7 +42,21 @@ class MonitoringService:
             raise ValueError(
                 "pass either an explicit store or retention_epochs, not both"
             )
-        self.store = store or TimeSeriesStore(retention_epochs=retention_epochs)
+        # `store if store is not None`, NOT `store or ...`: an empty
+        # TimeSeriesStore has len() == 0 and is falsy, and silently swapping
+        # a caller's (shared) store for a private one loses every sample the
+        # caller writes to it directly.
+        self.store = (
+            store if store is not None else TimeSeriesStore(retention_epochs=retention_epochs)
+        )
+        #: slice name -> sorted BS names with recorded samples.  Maintained
+        #: incrementally on ingestion; invalidated wholesale whenever the
+        #: store's series count moves (a new series may belong to any slice,
+        #: including ones written to the store directly).
+        self._stations: dict[str, list[str]] = {}
+        self._stations_series_count = 0
+        #: slice name -> (per-BS version stamp, merged peak-history array).
+        self._peak_cache: dict[str, tuple[tuple, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # Ingestion (called by the controllers / simulation engine)
@@ -48,45 +69,92 @@ class MonitoringService:
         samples_mbps: list[float] | np.ndarray,
     ) -> None:
         """Store the monitoring samples of one slice at one BS for one epoch."""
+        self._sync_station_index()
         self.store.write_many(
             _LOAD_SERIES,
             epoch,
             samples_mbps,
             tags={"slice": slice_name, "bs": base_station},
         )
+        stations = self._stations.get(slice_name)
+        if stations is None:
+            stations = self._stations_from_store(slice_name)
+            self._stations[slice_name] = stations
+        if base_station not in stations:
+            stations.append(base_station)
+            stations.sort()
+        self._stations_series_count = len(self.store)
 
     # ------------------------------------------------------------------ #
     # Queries (consumed by the Forecasting block)
     # ------------------------------------------------------------------ #
-    def observed_base_stations(self, slice_name: str) -> list[str]:
-        """Base stations for which samples of this slice have been recorded."""
-        stations = []
+    def _stations_from_store(self, slice_name: str) -> list[str]:
+        stations = set()
         for name, tags in self.store.series_names():
             if name == _LOAD_SERIES and tags.get("slice") == slice_name:
-                stations.append(tags["bs"])
-        return sorted(set(stations))
+                stations.add(tags["bs"])
+        return sorted(stations)
+
+    def _sync_station_index(self) -> None:
+        """Drop the station index if series were created behind our back.
+
+        The store's series count is O(1) to read and moves exactly when a
+        series appears (or the store is cleared), so a direct ``store``
+        write that opens a new (slice, bs) series -- bypassing
+        :meth:`record_samples` -- invalidates the cached station lists
+        instead of being silently ignored.
+        """
+        if len(self.store) != self._stations_series_count:
+            self._stations.clear()
+            self._stations_series_count = len(self.store)
+
+    def observed_base_stations(self, slice_name: str) -> list[str]:
+        """Base stations for which samples of this slice have been recorded."""
+        self._sync_station_index()
+        stations = self._stations.get(slice_name)
+        if stations is None:
+            stations = self._stations_from_store(slice_name)
+            if stations:
+                self._stations[slice_name] = stations
+        return list(stations)
 
     def peak_history(self, slice_name: str, base_station: str | None = None) -> np.ndarray:
         """Per-epoch peak load of a slice, ordered by epoch.
 
         When ``base_station`` is None the peak is taken across every base
         station serving the slice, which is the (conservative) per-site load
-        the reservation must cover.
+        the reservation must cover.  The merged history is cached per slice
+        and invalidated through the backing series' version counters, so
+        repeated forecasts between writes are O(#base stations).
         """
         if base_station is not None:
-            per_epoch = self.store.per_epoch_aggregate(
-                _LOAD_SERIES, tags={"slice": slice_name, "bs": base_station}, aggregate="max"
+            _, peaks = self.store.peak_series(
+                _LOAD_SERIES, tags={"slice": slice_name, "bs": base_station}
             )
-            return np.array([per_epoch[e] for e in sorted(per_epoch)])
+            return np.array(peaks)
+
+        stations = self.observed_base_stations(slice_name)
+        stamp = tuple(
+            self.store.series_version(
+                _LOAD_SERIES, tags={"slice": slice_name, "bs": bs}
+            )
+            for bs in stations
+        )
+        cached = self._peak_cache.get(slice_name)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
 
         merged: dict[int, float] = {}
-        for bs in self.observed_base_stations(slice_name):
-            per_epoch = self.store.per_epoch_aggregate(
-                _LOAD_SERIES, tags={"slice": slice_name, "bs": bs}, aggregate="max"
+        for bs in stations:
+            epochs, peaks = self.store.peak_series(
+                _LOAD_SERIES, tags={"slice": slice_name, "bs": bs}
             )
-            for epoch, value in per_epoch.items():
-                merged[epoch] = max(merged.get(epoch, 0.0), value)
-        return np.array([merged[e] for e in sorted(merged)])
+            for epoch, value in zip(epochs, peaks):
+                epoch = int(epoch)
+                merged[epoch] = max(merged.get(epoch, 0.0), float(value))
+        history = np.array([merged[e] for e in sorted(merged)])
+        self._peak_cache[slice_name] = (stamp, history)
+        return history
 
     def num_observed_epochs(self, slice_name: str) -> int:
         return int(self.peak_history(slice_name).size)

@@ -26,7 +26,12 @@ import numpy as np
 from repro.controlplane.controllers import ControllerSet
 from repro.controlplane.monitoring import MonitoringService
 from repro.controlplane.slice_manager import SliceManager
-from repro.controlplane.state import SliceRegistry, SliceState
+from repro.controlplane.state import (
+    TERMINAL_STATES,
+    SliceRegistry,
+    SliceState,
+    SliceStateError,
+)
 from repro.core.forecast_inputs import ForecastInput
 from repro.core.problem import (
     ACRRProblem,
@@ -141,8 +146,30 @@ class E2EOrchestrator:
     # Request intake
     # ------------------------------------------------------------------ #
     def submit_request(self, request: SliceRequest) -> None:
-        """Tenant-facing entry point (delegates to the slice manager)."""
+        """Tenant-facing entry point (delegates to the slice manager).
+
+        A re-submission under the name of a *live* slice is rejected here,
+        at intake -- before the request can enter an epoch batch -- unless
+        its arrival lies at or beyond the live slice's expiry (a legal
+        renewal booked in advance).  Rejecting at submit time keeps an
+        invalid renewal from poisoning the batch it would have been
+        collected with.
+        """
+        record = self._live_record(request.name)
+        if record is not None and request.arrival_epoch < record.expires_at():
+            raise SliceStateError(
+                f"cannot submit slice {request.name!r}: a slice with that "
+                f"name is still {record.state.value} until epoch "
+                f"{record.expires_at()}; renewals must arrive at or after "
+                "its expiry"
+            )
         self.slice_manager.submit(request)
+
+    def _live_record(self, name: str):
+        if name not in self.registry:
+            return None
+        record = self.registry.record(name)
+        return None if record.state in TERMINAL_STATES else record
 
     # ------------------------------------------------------------------ #
     # Monitoring feedback
@@ -173,9 +200,26 @@ class E2EOrchestrator:
         self.registry.expire_due(epoch)
 
         new_requests = self.slice_manager.collect_for_epoch(epoch)
+        renewal_error: SliceStateError | None = None
         for request in new_requests:
             if request.name not in self.registry:
                 self.registry.register(request)
+            else:
+                # A re-submission under a known name is a *renewal*: legal
+                # once the previous slice reached a terminal state (the
+                # registry archives the old record and the renewal competes
+                # for admission like any new arrival), a lifecycle error
+                # while the original slice is still live.  Intake already
+                # rejects live-name renewals, so this is defence in depth --
+                # and the error is deferred so an invalid renewal smuggled
+                # into the batch cannot keep its batch-mates from being
+                # registered (they are retried from the registry next epoch).
+                try:
+                    self.registry.renew(request)
+                except SliceStateError as error:
+                    renewal_error = renewal_error or error
+        if renewal_error is not None:
+            raise renewal_error
 
         committed_records = self.registry.active_slices(epoch)
         committed_requests = []
@@ -186,16 +230,28 @@ class E2EOrchestrator:
                 # the KAC heuristic) keep it anchored there.
                 committed.metadata["preferred_compute_unit"] = record.compute_unit
             committed_requests.append(committed)
+        # Candidates come from the *registry*, not the collected batch: in
+        # normal flow every REQUESTED record is one this epoch registered
+        # (all earlier ones were decided the epoch they arrived), but if a
+        # previous epoch died mid-batch, its registered-but-undecided
+        # requests are retried here instead of vanishing.
         candidate_new = [
-            request
-            for request in new_requests
-            if self.registry.record(request.name).state is SliceState.REQUESTED
+            record.request
+            for record in self.registry.all_records()
+            if record.state is SliceState.REQUESTED
         ]
         requests = committed_requests + candidate_new
         if not requests:
+            # Idle epoch: release every reservation (the last admitted slice
+            # has expired; leaving the controllers enforcing its reservations
+            # would hold RAN/transport/cloud resources forever), but keep the
+            # warm-start state (_last_solve, the solver-side cut pool, the
+            # problem-structure cache): if the same slices come back, the
+            # solver layer resumes from where it left off instead of a cold
+            # re-solve.
             self.last_problem = None
             self.last_decision = None
-            self._last_solve = None
+            self.controllers.clear()
             return OrchestrationDecision(
                 allocations={},
                 objective_value=0.0,

@@ -60,16 +60,21 @@ class SliceDescriptor:
 
 @dataclass
 class SliceManager:
-    """Queues tenant requests and releases them per decision epoch."""
+    """Queues tenant requests and releases them per decision epoch.
+
+    A name may be re-submitted once its previous request has been released
+    to the orchestrator -- that is how a tenant renews an expired or rejected
+    slice (the registry decides whether the renewal is legal; see
+    :meth:`repro.controlplane.state.SliceRegistry.renew`).  Two requests
+    under the same name may never sit in the intake queue at once.
+    """
 
     _pending: list[SliceRequest] = field(default_factory=list)
-    _submitted_names: set = field(default_factory=set)
 
     def submit(self, request: SliceRequest) -> SliceDescriptor:
         """Accept a tenant's slice request into the intake queue."""
-        if request.name in self._submitted_names:
+        if any(pending.name == request.name for pending in self._pending):
             raise ValueError(f"a slice named {request.name!r} was already submitted")
-        self._submitted_names.add(request.name)
         self._pending.append(request)
         return SliceDescriptor.from_request(request)
 

@@ -50,11 +50,17 @@ class SliceRecord:
         return self.state is SliceState.ADMITTED and epoch < self.expires_at()
 
 
+#: States from which a slice name may be re-submitted as a fresh request.
+TERMINAL_STATES = (SliceState.EXPIRED, SliceState.REJECTED)
+
+
 class SliceRegistry:
     """All slice records known to the orchestrator."""
 
     def __init__(self) -> None:
         self._records: dict[str, SliceRecord] = {}
+        #: Superseded records of renewed slices, oldest first (per name).
+        self._archive: dict[str, list[SliceRecord]] = {}
 
     # ------------------------------------------------------------------ #
     def register(self, request: SliceRequest) -> SliceRecord:
@@ -64,6 +70,38 @@ class SliceRegistry:
         record = SliceRecord(request=request)
         self._records[request.name] = record
         return record
+
+    def renew(self, request: SliceRequest) -> SliceRecord:
+        """Re-register a request under the name of a terminated slice.
+
+        Renewal semantics: once a slice has reached a terminal state
+        (EXPIRED or REJECTED), its tenant may submit a new request under the
+        same name; the old record is archived and a fresh REQUESTED record
+        takes its place, so the renewal goes through admission control like
+        any new arrival.  Renewing a name that is still REQUESTED or ADMITTED
+        is a lifecycle error -- the live slice owns the name.
+        """
+        record = self._records.get(request.name)
+        if record is None:
+            return self.register(request)
+        if record.state not in TERMINAL_STATES:
+            raise SliceStateError(
+                f"cannot renew slice {request.name!r} from state "
+                f"{record.state.value}: only expired or rejected slices "
+                "can be re-submitted"
+            )
+        self._archive.setdefault(request.name, []).append(record)
+        fresh = SliceRecord(request=request)
+        self._records[request.name] = fresh
+        return fresh
+
+    def renewal_count(self, name: str) -> int:
+        """How many archived (superseded) records a slice name has."""
+        return len(self._archive.get(name, []))
+
+    def archived_records(self, name: str) -> list[SliceRecord]:
+        """Superseded records of one slice name, oldest first."""
+        return list(self._archive.get(name, []))
 
     def record(self, name: str) -> SliceRecord:
         return self._records[name]

@@ -5,12 +5,16 @@ simulation only needs an ordered, queryable record of (epoch, value) points
 per series, which this module provides without external dependencies.
 Series are identified by a name plus a tag dictionary, mirroring the
 measurement/tag model of the original store.
+
+Storage layout (see DESIGN.md, "Warm-started solver layer & monitoring
+caches"): each series keeps its samples in amortised-O(1) numpy ring
+buffers and maintains the per-epoch *peak* incrementally as samples arrive,
+so the forecasting path never re-groups raw samples.  A per-series version
+counter lets downstream caches (the monitoring service's merged peak
+history) detect writes and prunes without subscribing to the store.
 """
 
 from __future__ import annotations
-
-from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,25 +24,120 @@ def _series_key(name: str, tags: dict[str, str] | None) -> tuple:
     return (name, tuple(sorted(tags.items())))
 
 
-@dataclass
+class _RingBuffer:
+    """Append-only numpy buffer with O(1) amortised append and front-drop.
+
+    The live window is ``self._data[self._start:self._end]``.  Appends grow
+    the backing array geometrically; dropping from the front just advances
+    ``_start``, and the buffer compacts (copies the live window to offset 0)
+    once more than half of the backing array is dead space, so memory stays
+    proportional to the retained window.
+    """
+
+    __slots__ = ("_data", "_start", "_end")
+
+    def __init__(self, dtype, initial_capacity: int = 16):
+        self._data = np.empty(initial_capacity, dtype=dtype)
+        self._start = 0
+        self._end = 0
+
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    def append(self, value) -> None:
+        if self._end == len(self._data):
+            self._compact_or_grow()
+        self._data[self._end] = value
+        self._end += 1
+
+    def drop_front(self, count: int) -> None:
+        self._start += count
+        if self._start > len(self._data) // 2:
+            self._compact_or_grow(grow=False)
+
+    def view(self) -> np.ndarray:
+        """The live window as a read-only view (no copy)."""
+        return self._data[self._start : self._end]
+
+    def _compact_or_grow(self, grow: bool = True) -> None:
+        live = self._end - self._start
+        capacity = len(self._data)
+        if grow and self._start <= capacity // 2:
+            capacity = max(2 * capacity, 16)
+        data = np.empty(capacity, dtype=self._data.dtype)
+        data[:live] = self._data[self._start : self._end]
+        self._data = data
+        self._start = 0
+        self._end = live
+
+
 class _Series:
-    epochs: list[int] = field(default_factory=list)
-    values: list[float] = field(default_factory=list)
+    """One (name, tags) series: raw samples plus the incremental peak track.
+
+    ``peak_epochs``/``peak_values`` hold one entry per distinct epoch, in
+    epoch order; appending another sample for the latest epoch updates the
+    trailing peak in place, so the per-epoch maximum is always current
+    without ever re-scanning the raw samples.  ``version`` increments on
+    every mutation (append or prune) and is what downstream caches key on.
+    """
+
+    __slots__ = ("epochs", "values", "peak_epochs", "peak_values", "version")
+
+    def __init__(self) -> None:
+        self.epochs = _RingBuffer(np.int64)
+        self.values = _RingBuffer(np.float64)
+        self.peak_epochs = _RingBuffer(np.int64)
+        self.peak_values = _RingBuffer(np.float64)
+        self.version = 0
 
     def append(self, epoch: int, value: float) -> None:
-        if self.epochs and epoch < self.epochs[-1]:
+        epoch = int(epoch)
+        value = float(value)
+        if len(self.epochs) and epoch < self.epochs.view()[-1]:
             raise ValueError(
-                f"samples must be appended in epoch order (got {epoch} after {self.epochs[-1]})"
+                f"samples must be appended in epoch order (got {epoch} after {self.epochs.view()[-1]})"
             )
-        self.epochs.append(int(epoch))
-        self.values.append(float(value))
+        self.epochs.append(epoch)
+        self.values.append(value)
+        peaks = self.peak_epochs
+        if len(peaks) and peaks.view()[-1] == epoch:
+            tail = self.peak_values.view()
+            if value > tail[-1]:
+                tail[-1] = value
+        else:
+            self.peak_epochs.append(epoch)
+            self.peak_values.append(value)
+        self.version += 1
 
     def prune_before(self, min_epoch: int) -> None:
         """Drop all samples with an epoch strictly below ``min_epoch``."""
-        cutoff = bisect_left(self.epochs, min_epoch)
-        if cutoff:
-            del self.epochs[:cutoff]
-            del self.values[:cutoff]
+        cutoff = int(np.searchsorted(self.epochs.view(), min_epoch, side="left"))
+        if not cutoff:
+            return
+        self.epochs.drop_front(cutoff)
+        self.values.drop_front(cutoff)
+        peak_cutoff = int(
+            np.searchsorted(self.peak_epochs.view(), min_epoch, side="left")
+        )
+        if peak_cutoff:
+            self.peak_epochs.drop_front(peak_cutoff)
+            self.peak_values.drop_front(peak_cutoff)
+        self.version += 1
+
+    # ------------------------------------------------------------------ #
+    def window(self, start_epoch: int | None, end_epoch: int | None) -> np.ndarray:
+        epochs = self.epochs.view()
+        lo = 0 if start_epoch is None else int(np.searchsorted(epochs, start_epoch, "left"))
+        hi = (
+            len(epochs)
+            if end_epoch is None
+            else int(np.searchsorted(epochs, end_epoch, "right"))
+        )
+        return np.array(self.values.view()[lo:hi])
+
+    def peaks(self) -> tuple[np.ndarray, np.ndarray]:
+        """(epochs, per-epoch maxima), both in epoch order, as views."""
+        return self.peak_epochs.view(), self.peak_values.view()
 
 
 class TimeSeriesStore:
@@ -81,8 +180,12 @@ class TimeSeriesStore:
         tags: dict[str, str] | None = None,
     ) -> None:
         """Append several samples sharing the same epoch (monitoring samples)."""
+        key = _series_key(name, tags)
+        series = self._series.setdefault(key, _Series())
         for value in values:
-            self.write(name, epoch, float(value), tags)
+            series.append(epoch, float(value))
+        if self.retention_epochs is not None:
+            series.prune_before(int(epoch) - self.retention_epochs + 1)
 
     # ------------------------------------------------------------------ #
     def values(
@@ -96,9 +199,7 @@ class TimeSeriesStore:
         series = self._series.get(_series_key(name, tags))
         if series is None:
             return np.array([])
-        lo = 0 if start_epoch is None else bisect_left(series.epochs, start_epoch)
-        hi = len(series.epochs) if end_epoch is None else bisect_right(series.epochs, end_epoch)
-        return np.asarray(series.values[lo:hi])
+        return series.window(start_epoch, end_epoch)
 
     def per_epoch_aggregate(
         self,
@@ -108,21 +209,47 @@ class TimeSeriesStore:
     ) -> dict[int, float]:
         """Aggregate samples per epoch ('max', 'mean' or 'sum').
 
-        The orchestrator consumes the per-epoch *peak*, i.e. ``max``.
+        The orchestrator consumes the per-epoch *peak*, i.e. ``max``, which
+        is maintained incrementally and served without touching the raw
+        samples; 'mean' and 'sum' group the raw samples on demand.
         """
         series = self._series.get(_series_key(name, tags))
         if series is None:
             return {}
         if aggregate not in ("max", "mean", "sum"):
             raise ValueError(f"unsupported aggregate {aggregate!r}")
-        grouped: dict[int, list[float]] = {}
-        for epoch, value in zip(series.epochs, series.values):
-            grouped.setdefault(epoch, []).append(value)
         if aggregate == "max":
-            return {epoch: max(values) for epoch, values in grouped.items()}
+            epochs, peaks = series.peaks()
+            return {int(epoch): float(peak) for epoch, peak in zip(epochs, peaks)}
+        grouped: dict[int, list[float]] = {}
+        for epoch, value in zip(series.epochs.view(), series.values.view()):
+            grouped.setdefault(int(epoch), []).append(float(value))
         if aggregate == "mean":
             return {epoch: float(np.mean(values)) for epoch, values in grouped.items()}
         return {epoch: float(np.sum(values)) for epoch, values in grouped.items()}
+
+    def peak_series(
+        self, name: str, tags: dict[str, str] | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(epochs, per-epoch peaks) of one series, in epoch order.
+
+        Array-valued variant of ``per_epoch_aggregate(..., 'max')`` served
+        straight from the incremental peak track (the arrays are views;
+        callers must not mutate them).
+        """
+        series = self._series.get(_series_key(name, tags))
+        if series is None:
+            return np.array([], dtype=np.int64), np.array([])
+        return series.peaks()
+
+    def series_version(self, name: str, tags: dict[str, str] | None = None) -> int:
+        """Monotonic mutation counter of one series (0 when it does not exist).
+
+        Downstream caches compare versions instead of data: any append or
+        retention prune bumps the counter.
+        """
+        series = self._series.get(_series_key(name, tags))
+        return 0 if series is None else series.version
 
     def series_names(self) -> list[tuple[str, dict[str, str]]]:
         """All stored series as (name, tags) pairs."""

@@ -16,18 +16,39 @@ from a phase-1 infeasibility certificate (the "extreme rays" of the dual
 slave).  The loop terminates when the master lower bound and the incumbent
 upper bound meet, which Theorem 2 guarantees happens after finitely many
 iterations.
+
+Cross-epoch warm start (see DESIGN.md, "Warm-started solver layer"): the
+orchestrator re-solves a nearly identical instance every decision epoch, so
+the solver persists the dual multipliers behind every cut in a
+:class:`CutPool` keyed by problem structure.  On the next structurally
+matching solve the stored multipliers are *re-validated* against the new
+instance -- the slave constraint matrix ``G`` is forecast-independent, so a
+stored ``mu >= 0`` yields a provably valid inequality for the new master
+once its right-hand side is re-derived from the new ``(h0, H)`` and relaxed
+by the (computable) dual-infeasibility slack against the new objective.
+Stale cuts whose slack grew too large are dropped; the surviving ones
+re-seed the master, which typically converges in a fraction of the cold
+iteration count while returning bit-identical decisions (enforced by the
+differential warm-start sweep).
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import optimize, sparse
 
 from repro.core.decomposition import SlaveProblem
-from repro.core.lpsolver import solve_milp
-from repro.core.problem import ACRRProblem, InfeasibleProblemError
+from repro.core.lpsolver import solve_milp, validate_milp_hint
+from repro.core.problem import (
+    ACRRProblem,
+    InfeasibleProblemError,
+    topology_signature,
+)
 from repro.core.solution import (
     OrchestrationDecision,
     SolverStats,
@@ -113,6 +134,10 @@ class _MasterState:
             self._cut_matrix = sparse.vstack([self._cut_matrix, row], format="csr")
         self._cut_rhs.append(rhs)
 
+    def cut_rows(self) -> tuple[sparse.csr_matrix | None, np.ndarray]:
+        """The accumulated cut matrix over (x, theta) and its RHS vector."""
+        return self._cut_matrix, np.asarray(self._cut_rhs)
+
     def constraints(self) -> list[optimize.LinearConstraint]:
         constraints: list[optimize.LinearConstraint] = [self.capacity_surrogate]
         if self.selection_constraint is not None:
@@ -128,6 +153,177 @@ class _MasterState:
         return constraints
 
 
+def warm_start_key(problem: ACRRProblem) -> tuple:
+    """Pool key: everything that shapes the slave system's sparsity.
+
+    Built from :meth:`ACRRProblem.warm_start_signature` (the request set
+    minus arrival epochs, which never enter the MILP matrices -- so a
+    *renewed* slice warm-starts from the cuts of its previous life) plus the
+    topology content signature.  Correctness never rests on this key: every
+    stored multiplier is re-validated against the new instance before it
+    seeds a cut (see :meth:`CutPool.seed_master`), and stored incumbents are
+    replayed only on a byte-level instance-token match, so a key collision
+    can only cost work, not accuracy.
+    """
+    return (
+        problem.warm_start_signature(),
+        topology_signature(problem.topology),
+    )
+
+
+@dataclass
+class _PoolEntry:
+    """Stored warm-start state of one problem structure."""
+
+    num_rows: int
+    #: Dual multipliers of past cuts, each paired with its cut family.
+    multipliers: list[tuple[np.ndarray, bool]] = field(default_factory=list)
+    #: Admission vector of the last incumbent under this structure.
+    best_x: np.ndarray | None = None
+    #: Byte-level fingerprint of the exact instance ``best_x`` came from:
+    #: equal tokens mean a cold solve would deterministically reproduce it.
+    instance_token: bytes | None = None
+    #: Stats of the solve that produced ``best_x`` (replayed verbatim --
+    #: minus runtime -- when an identical instance is re-solved).
+    best_stats: SolverStats | None = None
+
+
+class CutPool:
+    """Cross-epoch persistence of Benders cuts, keyed by problem structure.
+
+    The pool stores the *dual multipliers* ``mu`` behind each cut rather
+    than the cut coefficients themselves: coefficients ``(H' mu, -h0' mu)``
+    are cheap to re-derive and doing so automatically adapts each cut to the
+    new epoch's right-hand side.  Validity of a re-derived cut for the new
+    instance is then proven, not assumed:
+
+    * a feasibility cut needs ``G' mu >= 0``;
+    * an optimality cut needs dual feasibility ``G' mu >= -d``;
+
+    and where either condition fails by a margin, the cut is *repaired*
+    instead of trusted: every feasible slave point satisfies the implied
+    bounds ``0 <= (y, z) <= sla`` (constraints (8)/(10)), so relaxing the
+    right-hand side by ``sum_j max(0, violation_j) * sla_j`` restores a
+    mathematically valid inequality.  Cuts whose repair slack exceeds
+    ``max_relative_slack`` of the cut's own scale carry no information
+    anymore and are dropped as stale.
+    """
+
+    def __init__(
+        self,
+        max_cuts_per_structure: int = 256,
+        max_structures: int = 32,
+        max_relative_slack: float = 0.1,
+    ):
+        if max_cuts_per_structure <= 0:
+            raise ValueError("max_cuts_per_structure must be positive")
+        if max_structures <= 0:
+            raise ValueError("max_structures must be positive")
+        if max_relative_slack < 0:
+            raise ValueError("max_relative_slack must be non-negative")
+        self.max_cuts_per_structure = max_cuts_per_structure
+        self.max_structures = max_structures
+        self.max_relative_slack = max_relative_slack
+        self._entries: dict[tuple, _PoolEntry] = {}
+        #: Diagnostics: cuts seeded / dropped-as-stale over the pool's life.
+        self.seeded_total = 0
+        self.dropped_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, key: tuple) -> _PoolEntry | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            # LRU touch: re-insert so eviction drops the coldest structure.
+            self._entries.pop(key)
+            self._entries[key] = entry
+        return entry
+
+    def seed_master(
+        self, key: tuple, master: "_MasterState", slave: SlaveProblem
+    ) -> tuple[int, np.ndarray | None, bytes | None]:
+        """Re-validate the stored cuts of ``key`` and add the survivors.
+
+        Returns ``(number of cuts seeded, stored incumbent admission vector
+        or None, instance token of that incumbent)``.  Cuts are seeded in
+        their original order so repeated solves of an identical instance
+        build identical master problems.
+        """
+        entry = self.entry(key)
+        if entry is None:
+            return 0, None, None
+        num_rows = slave.g_matrix.shape[0]
+        if entry.num_rows != num_rows or not entry.multipliers:
+            if entry.num_rows == num_rows:
+                return 0, entry.best_x, entry.instance_token
+            return 0, None, None
+
+        mu_matrix = np.stack([mu for mu, _ in entry.multipliers])
+        # (k x 2n) dual slack basis: row i is G' mu_i.
+        gt_mu = np.asarray((slave.g_matrix.T.dot(mu_matrix.T)).T)
+        coeffs = np.asarray((slave.h_matrix.T.dot(mu_matrix.T)).T)
+        rhs = -mu_matrix.dot(slave.h0)
+        # Implied bounds of any feasible slave point: 0 <= (y, z) <= sla.
+        sla = np.array([item.sla_mbps for item in slave.problem.items])
+        u_bound = np.concatenate([sla, sla])
+        d = slave.d
+
+        seeded = 0
+        for position, (mu, is_optimality) in enumerate(entry.multipliers):
+            slack_basis = gt_mu[position]
+            violation = np.maximum(
+                0.0, -(slack_basis + d) if is_optimality else -slack_basis
+            )
+            repair = float(np.dot(violation, u_bound))
+            coeff = coeffs[position]
+            cut_scale = max(1.0, abs(float(rhs[position])), float(np.max(np.abs(coeff))))
+            if repair > self.max_relative_slack * cut_scale:
+                self.dropped_total += 1
+                continue
+            master.add_cut(coeff, float(rhs[position]) - repair, is_optimality)
+            seeded += 1
+        self.seeded_total += seeded
+        return seeded, entry.best_x, entry.instance_token
+
+    def record(
+        self,
+        key: tuple,
+        num_rows: int,
+        new_multipliers: list[tuple[np.ndarray, bool]],
+        best_x: np.ndarray | None,
+        instance_token: bytes | None = None,
+        stats: SolverStats | None = None,
+    ) -> None:
+        """Append one solve's freshly generated multipliers and incumbent."""
+        entry = self._entries.get(key)
+        if entry is None or entry.num_rows != num_rows:
+            entry = _PoolEntry(num_rows=num_rows)
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+            while len(self._entries) > self.max_structures:
+                self._entries.pop(next(iter(self._entries)))
+        entry.multipliers.extend(
+            (np.array(mu), is_optimality) for mu, is_optimality in new_multipliers
+        )
+        if len(entry.multipliers) > self.max_cuts_per_structure:
+            del entry.multipliers[: len(entry.multipliers) - self.max_cuts_per_structure]
+        if best_x is not None:
+            entry.best_x = np.array(best_x)
+            entry.instance_token = instance_token
+            entry.best_stats = stats
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Relative width of the "essentially exact" certificate tier of the warm
+#: fast path -- the same comparison tolerance the differential harness uses
+#: to call two optima equal.  A certificate this tight cannot hide a
+#: materially different cold incumbent.
+_EXACT_CERTIFICATE_REL = 1e-6
+
+
 class BendersSolver:
     """Optimal AC-RR solver based on Benders decomposition."""
 
@@ -138,6 +334,8 @@ class BendersSolver:
         max_iterations: int = 200,
         master_time_limit_s: float | None = 60.0,
         time_limit_s: float | None = 120.0,
+        warm_start: bool = True,
+        cut_pool: CutPool | None = None,
     ):
         """Configure the decomposition.
 
@@ -148,6 +346,14 @@ class BendersSolver:
         incumbent is provably within 1 % of the optimum.  ``time_limit_s``
         bounds the total wall-clock time; the incumbent found so far is
         returned (and flagged as non-optimal) when it is exceeded.
+
+        ``warm_start`` keeps a :class:`CutPool` on the solver instance so
+        consecutive solves of structurally matching instances (the
+        orchestrator's steady-state epochs) re-seed each other's cuts; pass
+        an explicit ``cut_pool`` to share one pool between solver instances.
+        Warm starts only ever add *valid* inequalities and an incumbent
+        bound, so decisions are identical to cold solves (asserted by the
+        differential warm-start sweep); disable for raw-latency baselines.
         """
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
@@ -160,6 +366,10 @@ class BendersSolver:
         self.max_iterations = max_iterations
         self.master_time_limit_s = master_time_limit_s
         self.time_limit_s = time_limit_s
+        if cut_pool is not None:
+            self.cut_pool: CutPool | None = cut_pool
+        else:
+            self.cut_pool = CutPool() if warm_start else None
 
     # ------------------------------------------------------------------ #
     def solve(self, problem: ACRRProblem) -> OrchestrationDecision:
@@ -169,6 +379,20 @@ class BendersSolver:
         cost_x = problem.objective_x()
         theta_lower = slave.objective_lower_bound()
 
+        pool_key: tuple | None = None
+        instance_token: bytes | None = None
+        if self.cut_pool is not None:
+            pool_key = warm_start_key(problem)
+            instance_token = self._instance_token(slave, cost_x, theta_lower)
+            fast = self._warm_fast_path(
+                problem, slave, cost_x, theta_lower, pool_key, instance_token, start
+            )
+            if fast is not None:
+                return fast
+
+        # Cold path.  Deliberately untouched by warm-start state: when the
+        # fast path misses, the trajectory below is bit-identical to a
+        # ``warm_start=False`` solver, cuts, candidates, incumbent and all.
         master_state = _MasterState(problem, cost_x, theta_lower)
         upper_bound = float("inf")
         lower_bound = -float("inf")
@@ -177,6 +401,8 @@ class BendersSolver:
         optimality_cuts = 0
         feasibility_cuts = 0
         iterations = 0
+        time_truncated = False
+        new_multipliers: list[tuple[np.ndarray, bool]] = []
 
         for iteration in range(1, self.max_iterations + 1):
             iterations = iteration
@@ -198,10 +424,12 @@ class BendersSolver:
                     best_z = outcome.z
                 coeff, rhs = slave.cut_from_multipliers(outcome.duals)
                 master_state.add_cut(coeff, rhs, is_optimality=True)
+                new_multipliers.append((outcome.duals, True))
                 optimality_cuts += 1
             else:
                 coeff, rhs = slave.cut_from_multipliers(outcome.ray)
                 master_state.add_cut(coeff, rhs, is_optimality=False)
+                new_multipliers.append((outcome.ray, False))
                 feasibility_cuts += 1
 
             if np.isfinite(upper_bound):
@@ -215,6 +443,7 @@ class BendersSolver:
                 and time.perf_counter() - start > self.time_limit_s
                 and best_x is not None
             ):
+                time_truncated = True
                 break
 
         if best_x is None:
@@ -235,11 +464,234 @@ class BendersSolver:
             cuts_feasibility=feasibility_cuts,
             message=f"UB={upper_bound:.6f} LB={lower_bound:.6f}",
         )
+        if self.cut_pool is not None and pool_key is not None:
+            self.cut_pool.record(
+                pool_key,
+                slave.g_matrix.shape[0],
+                new_multipliers,
+                best_x,
+                # A wall-clock-truncated incumbent is machine-dependent, not
+                # the deterministic cold result of this instance: withhold
+                # the token so the replay tier can never canonise it.
+                instance_token=None if time_truncated else instance_token,
+                stats=stats,
+            )
         return decision_from_vectors(problem, best_x, best_z, stats)
 
     # ------------------------------------------------------------------ #
+    # Warm start
+    # ------------------------------------------------------------------ #
+    def _instance_token(
+        self, slave: SlaveProblem, cost_x: np.ndarray, theta_lower: float
+    ) -> bytes:
+        """Byte-level fingerprint of everything a cold solve of this
+        instance reads: the admission objective, the slave system (matrix
+        values cover the forecast-dependent floors), the surrogate bound and
+        this solver's stopping parameters.  Equal tokens mean a cold solve
+        would replay the exact same deterministic trajectory."""
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(cost_x).tobytes())
+        digest.update(np.ascontiguousarray(slave.d).tobytes())
+        digest.update(np.ascontiguousarray(slave.h0).tobytes())
+        digest.update(np.ascontiguousarray(slave.h_matrix.data).tobytes())
+        digest.update(np.ascontiguousarray(slave.g_matrix.data).tobytes())
+        digest.update(
+            struct.pack(
+                "ddiddd",
+                self.tolerance,
+                self.relative_tolerance,
+                self.max_iterations,
+                theta_lower,
+                -1.0 if self.time_limit_s is None else float(self.time_limit_s),
+                -1.0
+                if self.master_time_limit_s is None
+                else float(self.master_time_limit_s),
+            )
+        )
+        return digest.digest()
+
+    def _warm_fast_path(
+        self,
+        problem: ACRRProblem,
+        slave: SlaveProblem,
+        cost_x: np.ndarray,
+        theta_lower: float,
+        pool_key: tuple,
+        instance_token: bytes,
+        start: float,
+    ) -> OrchestrationDecision | None:
+        """One-iteration re-certification of the previous epoch's optimum.
+
+        The pool's stored cuts are re-validated and seeded into a fresh
+        master; one master solve then yields a *valid lower bound* for the
+        new instance (the seeded cuts are proven valid inequalities) and one
+        slave evaluation prices the previous admission vector on the new
+        right-hand side.  When ``UB(previous x) - LB <= gap_target`` -- the
+        exact stopping rule the cold loop uses -- the previous decision is
+        certified gap-target-optimal for the new instance and returned after
+        a single master/slave round.
+
+        Anything less -- an infeasible slave, an open gap, a structurally
+        unknown instance -- returns None and the caller runs the standard
+        cold loop from a virgin master, so a fast-path miss is bit-identical
+        to a solver with warm starts disabled.  The fast path never trades
+        accuracy for speed: a hit carries the same optimality certificate a
+        cold termination carries.
+
+        Two tiers:
+
+        * **replay** -- the new instance is byte-identical to the one the
+          stored optimum came from (token match): a cold solve would replay
+          the exact same deterministic trajectory, so the stored decision is
+          returned after a single slave evaluation (bit-identity is rigorous
+          here, no certificate needed);
+        * **re-certification** -- the instance is perturbed: seed the
+          re-validated cuts, solve the seeded master once for a valid lower
+          bound, price the previous optimum with one slave evaluation, and
+          accept only if the cold stopping rule closes *and* the master
+          corroborates the previous optimum (re-proposes it, proves it
+          attains the master optimum, or the certificate is essentially
+          exact) -- a guard against "certified ties" inside a loose relative
+          stopping band, where cold could settle on a different, equally
+          certified vertex.
+        """
+        replay = self._replay_identical_instance(
+            problem, slave, pool_key, instance_token, start
+        )
+        if replay is not None:
+            return replay
+
+        seeded_master = _MasterState(problem, cost_x, theta_lower)
+        seeded, previous_x, _token = self.cut_pool.seed_master(
+            pool_key, seeded_master, slave
+        )
+        if not seeded or previous_x is None:
+            return None
+        hint = self._master_hint(seeded_master, previous_x)
+        master = self._solve_master(seeded_master, hint=hint)
+        if master is None:
+            return None
+        x_proposed, _theta, master_objective = master
+        outcome = slave.evaluate(previous_x)
+        if not outcome.feasible:
+            return None
+        upper_bound = float(np.dot(cost_x, previous_x)) + outcome.objective
+        gap = upper_bound - master_objective
+        gap_target = max(self.tolerance, self.relative_tolerance * abs(upper_bound))
+        if not np.isfinite(gap) or gap > gap_target:
+            return None
+        if not np.array_equal(x_proposed, previous_x):
+            corroborated = gap <= max(
+                self.tolerance, _EXACT_CERTIFICATE_REL * abs(upper_bound)
+            )
+            if not corroborated and hint is not None:
+                attainment_tol = 1e-9 * max(1.0, abs(master_objective))
+                corroborated = float(
+                    np.dot(seeded_master.cost, hint)
+                ) <= master_objective + attainment_tol and validate_milp_hint(
+                    hint,
+                    seeded_master.constraints(),
+                    seeded_master.integrality,
+                    seeded_master.lower,
+                    seeded_master.upper,
+                )
+            if not corroborated:
+                return None
+        x_candidate = previous_x
+        runtime = time.perf_counter() - start
+        stats = SolverStats(
+            solver="benders",
+            iterations=1,
+            runtime_s=runtime,
+            optimal=True,
+            gap=max(0.0, gap),
+            cuts_optimality=1,
+            cuts_feasibility=0,
+            cuts_warm=seeded,
+            message=(
+                f"UB={upper_bound:.6f} LB={master_objective:.6f} "
+                f"(warm fast path, {seeded} seeded cuts)"
+            ),
+        )
+        self.cut_pool.record(
+            pool_key,
+            slave.g_matrix.shape[0],
+            [(outcome.duals, True)],
+            x_candidate,
+            instance_token=instance_token,
+            stats=stats,
+        )
+        return decision_from_vectors(problem, x_candidate, outcome.z, stats)
+
+    def _replay_identical_instance(
+        self,
+        problem: ACRRProblem,
+        slave: SlaveProblem,
+        pool_key: tuple,
+        instance_token: bytes,
+        start: float,
+    ) -> OrchestrationDecision | None:
+        """Replay tier: return the stored optimum of a byte-identical instance.
+
+        Costs one slave LP (to re-derive the reservations, which is itself
+        deterministic given the admission vector and instance).  The stored
+        solve's optimality/gap diagnostics are replayed verbatim -- this
+        path must not claim a better certificate than the solve it shadows.
+        """
+        entry = self.cut_pool.entry(pool_key)
+        if (
+            entry is None
+            or entry.best_x is None
+            or entry.instance_token != instance_token
+            or entry.num_rows != slave.g_matrix.shape[0]
+        ):
+            return None
+        outcome = slave.evaluate(entry.best_x)
+        if not outcome.feasible:
+            return None
+        previous_stats = entry.best_stats
+        stats = SolverStats(
+            solver="benders",
+            iterations=0,
+            runtime_s=time.perf_counter() - start,
+            optimal=previous_stats.optimal if previous_stats else True,
+            gap=previous_stats.gap if previous_stats else 0.0,
+            cuts_optimality=0,
+            cuts_feasibility=0,
+            cuts_warm=len(entry.multipliers),
+            message=(
+                "replayed identical instance from the warm-start pool"
+                + (f" ({previous_stats.message})" if previous_stats else "")
+            ),
+        )
+        return decision_from_vectors(problem, entry.best_x, outcome.z, stats)
+
+    @staticmethod
+    def _master_hint(master: _MasterState, previous_x: np.ndarray) -> np.ndarray | None:
+        """Lift a previous admission vector into a full master-variable hint.
+
+        The surrogate variable is set to the smallest value the seeded
+        optimality cuts allow at ``previous_x``, so the hint is feasible for
+        the freshly seeded master whenever ``previous_x`` itself still is
+        (``solve_milp`` re-validates before trusting it either way).
+        """
+        if previous_x.shape != (master.num_items,):
+            return None
+        theta = float(master.lower[-1])
+        cut_matrix, cut_rhs = master.cut_rows()
+        if cut_matrix is not None:
+            base = np.asarray(cut_matrix[:, :-1].dot(previous_x)).ravel()
+            theta_coeff = np.asarray(cut_matrix[:, -1].todense()).ravel()
+            needed = cut_rhs - base
+            binding = theta_coeff > 0.5
+            if np.any(binding):
+                theta = max(theta, float(np.max(needed[binding])))
+            # A feasibility cut previous_x violates makes the hint invalid;
+            # solve_milp's validation will reject it in that case.
+        return np.concatenate([previous_x, [theta]])
+
     def _solve_master(
-        self, master: _MasterState
+        self, master: _MasterState, hint: np.ndarray | None = None
     ) -> tuple[np.ndarray, float, float] | None:
         """Solve the current master MILP; returns (x, theta, objective)."""
         result = solve_milp(
@@ -249,7 +701,19 @@ class BendersSolver:
             lower=master.lower,
             upper=master.upper,
             time_limit_s=self.master_time_limit_s,
+            hint=hint,
         )
+        if not result.success and result.hint_applied:
+            # Paranoia: a numerically borderline objective cutoff must never
+            # turn a feasible master infeasible.  Retry cold.
+            result = solve_milp(
+                cost=master.cost,
+                constraints=master.constraints(),
+                integrality=master.integrality,
+                lower=master.lower,
+                upper=master.upper,
+                time_limit_s=self.master_time_limit_s,
+            )
         if not result.success:
             return None
         n = master.num_items

@@ -41,6 +41,50 @@ class MILPSolution:
     objective: float
     values: np.ndarray
     mip_gap: float
+    #: True when a warm-start hint was supplied, validated and turned into
+    #: an objective cutoff for the branch-and-bound (see :func:`solve_milp`).
+    hint_applied: bool = False
+
+
+#: Tolerances used to validate a warm-start hint before trusting it.
+_HINT_FEASIBILITY_TOL = 1e-7
+_HINT_INTEGRALITY_TOL = 1e-7
+
+
+def validate_milp_hint(
+    hint: np.ndarray,
+    constraints: list[optimize.LinearConstraint],
+    integrality: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> bool:
+    """Check that a candidate vector is (near-)feasible and integral.
+
+    The hint must respect the variable bounds, take integer values on the
+    integral variables and satisfy every linear constraint within a small
+    tolerance; anything else is rejected (a stale hint must never constrain
+    the solve).
+    """
+    hint = np.asarray(hint, dtype=float)
+    if hint.shape != np.asarray(lower).shape:
+        return False
+    if np.any(hint < lower - _HINT_FEASIBILITY_TOL) or np.any(
+        hint > upper + _HINT_FEASIBILITY_TOL
+    ):
+        return False
+    integral = np.asarray(integrality) > 0.5
+    if np.any(np.abs(hint[integral] - np.round(hint[integral])) > _HINT_INTEGRALITY_TOL):
+        return False
+    for constraint in constraints:
+        row_values = np.asarray(constraint.A.dot(hint)).ravel()
+        lb = np.broadcast_to(np.asarray(constraint.lb, dtype=float), row_values.shape)
+        ub = np.broadcast_to(np.asarray(constraint.ub, dtype=float), row_values.shape)
+        scale = np.maximum(1.0, np.abs(row_values))
+        if np.any(row_values < lb - _HINT_FEASIBILITY_TOL * scale) or np.any(
+            row_values > ub + _HINT_FEASIBILITY_TOL * scale
+        ):
+            return False
+    return True
 
 
 def solve_lp(
@@ -133,13 +177,37 @@ def solve_milp(
     upper: np.ndarray,
     time_limit_s: float | None = None,
     mip_rel_gap: float = 1e-6,
+    hint: np.ndarray | None = None,
 ) -> MILPSolution:
-    """Solve a mixed-integer linear program with HiGHS."""
+    """Solve a mixed-integer linear program with HiGHS.
+
+    ``hint`` is an optional warm-start candidate (a full variable vector,
+    e.g. the previous epoch's optimum).  SciPy's :func:`scipy.optimize.milp`
+    has no native MIP-start interface, so a *validated* hint is turned into
+    the next best thing: an objective-cutoff constraint ``c' v <= c' hint``
+    that is guaranteed to keep the optimum (the hint is feasible, so the
+    optimum can only be at least as good) while letting branch-and-bound
+    prune every node whose relaxation is worse than the incumbent the hint
+    represents.  Invalid hints are ignored.
+    """
+    cost = np.asarray(cost, dtype=float)
+    hint_applied = False
+    if hint is not None and validate_milp_hint(hint, constraints, integrality, lower, upper):
+        hint_value = float(np.dot(cost, np.asarray(hint, dtype=float)))
+        # Slack keeps the hint itself (and any exact optimum) strictly inside
+        # the cutoff despite floating-point noise in A v recomputation.
+        slack = 1e-9 * max(1.0, abs(hint_value))
+        constraints = list(constraints) + [
+            optimize.LinearConstraint(
+                sparse.csr_matrix(cost.reshape(1, -1)), -np.inf, hint_value + slack
+            )
+        ]
+        hint_applied = True
     options: dict[str, float] = {"mip_rel_gap": mip_rel_gap}
     if time_limit_s is not None:
         options["time_limit"] = float(time_limit_s)
     result = optimize.milp(
-        c=np.asarray(cost, dtype=float),
+        c=cost,
         constraints=constraints,
         integrality=np.asarray(integrality),
         bounds=optimize.Bounds(lb=lower, ub=upper),
@@ -157,4 +225,5 @@ def solve_milp(
         objective=float(result.fun) if result.fun is not None else float("nan"),
         values=values,
         mip_gap=gap,
+        hint_applied=hint_applied,
     )

@@ -364,6 +364,33 @@ class ACRRProblem:
             "signature", lambda: _structure_signature(self.requests, self.options)
         )
 
+    def warm_start_signature(self) -> tuple:
+        """Like :meth:`structure_signature`, minus the arrival epochs.
+
+        Arrival epochs never enter the MILP matrices -- they only matter for
+        release timing -- so two instances that differ *only* in arrivals
+        (e.g. a renewed slice) pose byte-identical solver systems.  The
+        cross-epoch warm-start layer keys its cut pool on this signature so
+        renewals inherit the cuts of their previous life; see
+        :func:`repro.core.benders.warm_start_key`.  Memoized per instance.
+        """
+        return self._cached(
+            "warm_signature",
+            lambda: (
+                tuple(
+                    (
+                        request.name,
+                        request.template,
+                        request.duration_epochs,
+                        request.penalty_factor,
+                        request.committed,
+                    )
+                    for request in self.requests
+                ),
+                self.options,
+            ),
+        )
+
     def with_forecasts(
         self,
         requests: list[SliceRequest],
@@ -409,7 +436,7 @@ class ACRRProblem:
         clone._block_cache = {
             key: value
             for key, value in self._block_cache.items()
-            if key in ("capacity", "selection", "signature")
+            if key in ("capacity", "selection", "signature", "warm_signature")
         }
         return clone
 

@@ -30,6 +30,9 @@ class SolverStats:
     gap: float = 0.0
     cuts_optimality: int = 0
     cuts_feasibility: int = 0
+    #: Stored warm-start cuts backing this solve (seeded into the master,
+    #: or vouching for a replayed identical instance); 0 on cold solves.
+    cuts_warm: int = 0
     message: str = ""
 
 

@@ -31,7 +31,14 @@ from repro.scenarios.generator import (
     scenario_fingerprint,
     scenario_payload,
 )
-from repro.scenarios.oracle import DifferentialOutcome, differential_check, problem_for_scenario
+from repro.scenarios.oracle import (
+    DifferentialOutcome,
+    WarmStartOutcome,
+    decision_fingerprint,
+    differential_check,
+    problem_for_scenario,
+    warm_start_check,
+)
 
 __all__ = [
     "CHURN_FAMILY",
@@ -40,8 +47,11 @@ __all__ = [
     "FAMILIES",
     "SEASONAL_ONLINE_FAMILY",
     "ScenarioFamily",
+    "WarmStartOutcome",
+    "decision_fingerprint",
     "differential_check",
     "problem_for_scenario",
+    "warm_start_check",
     "sample_scenario",
     "sample_scenarios",
     "scenario_fingerprint",

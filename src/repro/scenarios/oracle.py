@@ -21,15 +21,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.baseline import NoOverbookingSolver
 from repro.core.benders import BendersSolver
 from repro.core.forecast_inputs import ForecastInput
 from repro.core.milp_solver import DirectMILPSolver
 from repro.core.problem import ACRRProblem, ProblemOptions
+from repro.core.solution import OrchestrationDecision
 from repro.simulation.scenario import Scenario
 from repro.topology.paths import compute_path_sets
 from repro.traffic.patterns import demand_for_request
-from repro.utils.validation import ensure_non_negative_int
+from repro.utils.rng import derive_seed
+from repro.utils.validation import ensure_non_negative_int, ensure_positive_int
 
 #: Convergence knobs for the Benders run used as the implementation under
 #: test: the stopping tolerance is tight enough that any surviving gap
@@ -123,6 +127,180 @@ class DifferentialOutcome:
             f"(gap={self.benders_gap:.3e}, "
             f"admitted {self.benders_accepted}/{self.milp_accepted}/{self.baseline_accepted})"
         )
+
+
+def decision_fingerprint(decision: OrchestrationDecision) -> tuple:
+    """Exact (bit-level) fingerprint of an orchestration decision.
+
+    Floats are compared through their exact values -- two decisions share a
+    fingerprint only if every admission flag, anchoring compute unit, path
+    and reservation is identical.  Solver diagnostics (runtimes, iteration
+    counts) are deliberately excluded: they describe how the decision was
+    found, not what it says.
+    """
+    allocations = []
+    for name in sorted(decision.allocations):
+        allocation = decision.allocations[name]
+        allocations.append(
+            (
+                name,
+                allocation.accepted,
+                allocation.compute_unit,
+                tuple(sorted(allocation.reservations_mbps.items())),
+                tuple(
+                    sorted(
+                        (bs, path.base_station, path.compute_unit,
+                         tuple(link.key for link in path.links))
+                        for bs, path in allocation.paths.items()
+                    )
+                ),
+            )
+        )
+    return (
+        tuple(allocations),
+        decision.objective_value,
+        tuple(sorted(decision.deficits.items())),
+    )
+
+
+@dataclass(frozen=True)
+class WarmStartOutcome:
+    """Warm-vs-cold verdict over one scenario's perturbed-epoch sequence."""
+
+    scenario_name: str
+    num_instances: int
+    mismatched_instances: tuple[int, ...]
+    cold_iterations: int
+    warm_iterations: int
+    fast_path_hits: int
+
+    @property
+    def identical(self) -> bool:
+        """Bit-identity: every warm decision equals its cold counterpart."""
+        return not self.mismatched_instances
+
+    def describe(self) -> str:
+        return (
+            f"{self.scenario_name}: {self.num_instances} instances, "
+            f"{self.fast_path_hits} fast-path hits, iterations "
+            f"cold={self.cold_iterations} warm={self.warm_iterations}"
+            + (
+                f", MISMATCH at {list(self.mismatched_instances)}"
+                if self.mismatched_instances
+                else ""
+            )
+        )
+
+
+def _perturbed_forecast_sequence(
+    problem: ACRRProblem, count: int, spread: float, seed: int
+) -> list[ACRRProblem]:
+    """Deterministic steady-state drift: small i.i.d. forecast rescalings.
+
+    Models the regime the warm-start layer targets (thousands of Fig. 5/6/8
+    epochs whose forecasts drift by a few percent while the admitted set
+    stays put); each instance rescales every tenant's peak forecast by an
+    independent factor in ``1 +- spread``, clamped to the SLA.
+    """
+    rng = np.random.default_rng(seed)
+    instances = []
+    for _ in range(count):
+        scales = 1.0 + rng.uniform(-spread, spread, len(problem.requests))
+        forecasts = {
+            request.name: ForecastInput(
+                lambda_hat_mbps=min(
+                    problem.forecast(request.name).lambda_hat_mbps * float(scale),
+                    request.sla_mbps,
+                ),
+                sigma_hat=problem.forecast(request.name).sigma_hat,
+            )
+            for request, scale in zip(problem.requests, scales)
+        }
+        instances.append(
+            ACRRProblem(
+                topology=problem.topology,
+                path_set=problem.path_set,
+                requests=problem.requests,
+                forecasts=forecasts,
+                options=problem.options,
+            )
+        )
+    return instances
+
+
+def warm_start_check(
+    scenario: Scenario,
+    epoch: int = 0,
+    num_perturbations: int = 3,
+    spread: float = 0.02,
+    exact_tolerances: bool = False,
+) -> WarmStartOutcome:
+    """Differential warm-start oracle: warm Benders must equal cold Benders.
+
+    Solves the scenario's epoch instance followed by ``num_perturbations``
+    steady-state forecast drifts twice -- once with a warm-started solver
+    carried across the whole sequence, once with a fresh cold solver per
+    instance -- and fingerprints every pair of decisions.  The warm solver's
+    fast path either *certifies* the previous optimum under the solver's own
+    stopping rule or falls back to the exact cold trajectory, so any
+    fingerprint mismatch is a bug in the warm-start layer.
+
+    ``exact_tolerances`` switches both solvers to the differential harness's
+    near-exact stopping rule (certificates must close to 1e-9, the regime of
+    :func:`differential_check`); the default uses the production tolerances
+    the orchestrator runs with.
+    """
+    ensure_non_negative_int(epoch, "epoch")
+    ensure_positive_int(num_perturbations, "num_perturbations")
+
+    def make_solver(warm: bool) -> BendersSolver:
+        # Same budget discipline as differential_check: an *iteration* cap
+        # and no wall-clock cutoffs, so the check is bounded yet machine
+        # independent.  A warm run that cannot certify within the cap's
+        # certificate quality simply falls back to the (equally capped)
+        # cold trajectory.
+        if exact_tolerances:
+            return BendersSolver(
+                tolerance=_BENDERS_TOLERANCE,
+                relative_tolerance=_BENDERS_TOLERANCE,
+                max_iterations=_BENDERS_MAX_ITERATIONS,
+                master_time_limit_s=None,
+                time_limit_s=None,
+                warm_start=warm,
+            )
+        return BendersSolver(
+            max_iterations=_BENDERS_MAX_ITERATIONS,
+            master_time_limit_s=None,
+            time_limit_s=None,
+            warm_start=warm,
+        )
+
+    base = problem_for_scenario(scenario, epoch=epoch)
+    instances = [base] + _perturbed_forecast_sequence(
+        base,
+        count=num_perturbations,
+        spread=spread,
+        seed=derive_seed(scenario.seed, "warm-start-oracle", scenario.name),
+    )
+    warm_solver = make_solver(True)
+    mismatched: list[int] = []
+    cold_iterations = warm_iterations = fast_path_hits = 0
+    for index, instance in enumerate(instances):
+        cold = make_solver(False).solve(instance)
+        warm = warm_solver.solve(instance)
+        cold_iterations += cold.stats.iterations
+        warm_iterations += warm.stats.iterations
+        fast_path_hits += int(warm.stats.cuts_warm > 0)
+        if decision_fingerprint(cold) != decision_fingerprint(warm):
+            mismatched.append(index)
+    return WarmStartOutcome(
+        scenario_name=scenario.name,
+        num_instances=len(instances),
+        mismatched_instances=tuple(mismatched),
+        cold_iterations=cold_iterations,
+        warm_iterations=warm_iterations,
+        fast_path_hits=fast_path_hits,
+    )
 
 
 def differential_check(

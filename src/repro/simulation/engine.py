@@ -47,6 +47,11 @@ class EpochRecord:
     reward: float
     penalty: float
     solver_runtime_s: float
+    #: Master iterations the epoch's solve took (0 when the decision was
+    #: reused outright) and how many warm-start cuts seeded it -- the
+    #: steady-state trajectory the warm-start benchmarks track.
+    solver_iterations: int = 0
+    solver_warm_cuts: int = 0
     radio_usage: dict[str, DomainUsage] = field(default_factory=dict)
     transport_usage: dict[tuple[str, str], DomainUsage] = field(default_factory=dict)
     compute_usage: dict[str, DomainUsage] = field(default_factory=dict)
@@ -271,6 +276,8 @@ class SimulationEngine:
             reward=revenue.reward,
             penalty=revenue.penalty,
             solver_runtime_s=decision.stats.runtime_s,
+            solver_iterations=decision.stats.iterations,
+            solver_warm_cuts=decision.stats.cuts_warm,
             radio_usage=radio_usage,
             transport_usage=transport_usage,
             compute_usage=compute_usage,

@@ -47,6 +47,62 @@ class TestPeakHistory:
         assert monitoring.mean_load("ghost") == 0.0
 
 
+class TestPeakCache:
+    """The merged peak history is cached and invalidated by writes."""
+
+    def test_cached_history_is_returned_between_writes(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-0", 0, [1.0, 2.0])
+        first = monitoring.peak_history("s")
+        second = monitoring.peak_history("s")
+        assert second is first  # served from the cache, no rebuild
+
+    def test_write_invalidates_the_cache(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-0", 0, [1.0])
+        stale = monitoring.peak_history("s")
+        monitoring.record_samples("s", "bs-0", 1, [5.0])
+        fresh = monitoring.peak_history("s")
+        assert fresh is not stale
+        assert fresh.tolist() == [1.0, 5.0]
+
+    def test_new_base_station_invalidates_the_cache(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-0", 0, [1.0])
+        monitoring.peak_history("s")
+        monitoring.record_samples("s", "bs-1", 0, [9.0])
+        assert monitoring.peak_history("s").tolist() == [9.0]
+
+    def test_direct_store_writes_are_detected(self):
+        """Even bypassing record_samples, the version stamps catch writes."""
+        monitoring = MonitoringService()
+        monitoring.record_samples("s", "bs-0", 0, [2.0])
+        monitoring.peak_history("s")
+        monitoring.store.write_many(
+            "slice_load_mbps", 1, [7.0], tags={"slice": "s", "bs": "bs-0"}
+        )
+        assert monitoring.peak_history("s").tolist() == [2.0, 7.0]
+
+    def test_cache_is_per_slice(self):
+        monitoring = MonitoringService()
+        monitoring.record_samples("a", "bs-0", 0, [1.0])
+        monitoring.record_samples("b", "bs-0", 0, [2.0])
+        cached_a = monitoring.peak_history("a")
+        monitoring.record_samples("b", "bs-0", 1, [3.0])
+        assert monitoring.peak_history("a") is cached_a
+
+    def test_direct_store_write_to_a_new_base_station_is_detected(self):
+        """A brand-new series written behind the service's back (shared
+        store) must invalidate the cached station list, not be ignored."""
+        store = TimeSeriesStore()
+        monitoring = MonitoringService(store=store)
+        monitoring.record_samples("s", "bs-0", 0, [2.0])
+        assert monitoring.peak_history("s").tolist() == [2.0]
+        store.write_many("slice_load_mbps", 0, [9.0], tags={"slice": "s", "bs": "bs-1"})
+        assert monitoring.observed_base_stations("s") == ["bs-0", "bs-1"]
+        assert monitoring.peak_history("s").tolist() == [9.0]
+
+
 class TestRetention:
     def test_peak_history_covers_the_retained_window_only(self):
         monitoring = MonitoringService(retention_epochs=4)
@@ -109,6 +165,74 @@ class TestForecasterHandoff:
         self._record_diurnal_history(monitoring, "s", num_epochs=100)
         history = monitoring.peak_history("s")
         assert history.size == 24
+
+    def test_retention_below_two_seasons_flips_holt_winters_to_double_exponential(self):
+        """Satellite regression: pruning below ``2 * season_length`` must
+        cleanly drop the forecasting block from Holt-Winters to double
+        exponential smoothing -- same API, no pessimistic full-SLA reset."""
+        from repro.controlplane.orchestrator import ForecastingBlock
+        from repro.core.slices import EMBB_TEMPLATE, SliceRequest
+        from repro.forecasting.holt_winters import HoltWintersForecaster
+
+        season = 24
+        block = ForecastingBlock(primary=HoltWintersForecaster(season_length=season))
+        request = SliceRequest(name="s", template=EMBB_TEMPLATE)
+
+        unbounded = MonitoringService()
+        pruned = MonitoringService(retention_epochs=2 * season - 1)
+        for monitoring in (unbounded, pruned):
+            self._record_diurnal_history(monitoring, "s", num_epochs=100)
+
+        long_history = unbounded.peak_history("s")
+        short_history = pruned.peak_history("s")
+        assert block.primary.can_forecast(long_history)
+        assert not block.primary.can_forecast(short_history)
+        assert block.fallback.can_forecast(short_history)
+
+        forecast = block.forecast_for(request, short_history)
+        # The fallback still tracks the observed ~40 Mb/s peaks: retention
+        # must never knock a learnt slice back to full-SLA pessimism.
+        assert forecast.lambda_hat_mbps < request.sla_mbps * 0.999
+        assert 0.0 < forecast.sigma_hat <= 1.0
+
+    def test_retention_flip_leaves_override_scenarios_untouched(self):
+        """Forecast overrides bypass the monitoring path entirely, so
+        retention-driven fallback flips must not change override-driven
+        (Fig. 5 / Fig. 6 oracle) decisions."""
+        from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig
+        from repro.core.forecast_inputs import ForecastInput
+        from repro.core.milp_solver import DirectMILPSolver
+        from repro.core.slices import EMBB_TEMPLATE, SliceRequest
+        from tests.conftest import build_tiny_topology
+
+        def run(retention):
+            orchestrator = E2EOrchestrator(
+                topology=build_tiny_topology(),
+                solver=DirectMILPSolver(),
+                config=OrchestratorConfig(epochs_per_day=24, samples_per_epoch=3),
+                monitoring=MonitoringService(retention_epochs=retention),
+            )
+            orchestrator.forecast_overrides["s"] = ForecastInput(
+                lambda_hat_mbps=12.0, sigma_hat=0.3
+            )
+            orchestrator.submit_request(
+                SliceRequest(name="s", template=EMBB_TEMPLATE, duration_epochs=80)
+            )
+            decisions = []
+            for epoch in range(60):
+                decision = orchestrator.run_epoch(epoch)
+                for bs in ("bs-0", "bs-1"):
+                    orchestrator.observe_load("s", bs, epoch, [10.0, 12.0, 11.0])
+                decisions.append(decision)
+            return decisions
+
+        pruned = run(retention=12)       # well below 2 * season_length
+        unbounded = run(retention=None)
+        for lhs, rhs in zip(pruned, unbounded):
+            assert lhs.objective_value == rhs.objective_value
+            assert sorted(lhs.accepted_tenants) == sorted(rhs.accepted_tenants)
+            for name, allocation in lhs.allocations.items():
+                assert allocation.reservations_mbps == rhs.allocations[name].reservations_mbps
 
     def test_orchestrator_observe_load_feeds_the_handoff(self):
         from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig

@@ -95,6 +95,68 @@ class TestQueryWindows:
         assert store.values("load", start_epoch=0, end_epoch=100).tolist() == [7.0]
 
 
+class TestIncrementalPeaks:
+    def test_peak_series_matches_aggregate(self):
+        store = TimeSeriesStore()
+        store.write_many("load", 0, [1.0, 5.0, 3.0])
+        store.write_many("load", 2, [2.0, 4.0])
+        epochs, peaks = store.peak_series("load")
+        assert epochs.tolist() == [0, 2]
+        assert peaks.tolist() == [5.0, 4.0]
+        assert store.per_epoch_aggregate("load", aggregate="max") == {0: 5.0, 2: 4.0}
+
+    def test_peak_updates_in_place_for_repeated_epoch_writes(self):
+        store = TimeSeriesStore()
+        store.write("load", 0, 1.0)
+        store.write("load", 0, 9.0)
+        store.write("load", 0, 4.0)
+        _, peaks = store.peak_series("load")
+        assert peaks.tolist() == [9.0]
+
+    def test_peak_series_of_missing_series_is_empty(self):
+        epochs, peaks = TimeSeriesStore().peak_series("nope")
+        assert epochs.size == 0 and peaks.size == 0
+
+    def test_retention_prunes_the_peak_track(self):
+        store = TimeSeriesStore(retention_epochs=2)
+        for epoch in range(6):
+            store.write("load", epoch, float(epoch))
+        epochs, peaks = store.peak_series("load")
+        assert epochs.tolist() == [4, 5]
+        assert peaks.tolist() == [4.0, 5.0]
+
+    def test_long_rolling_window_stays_consistent(self):
+        """Ring-buffer compaction across many prunes never loses samples."""
+        store = TimeSeriesStore(retention_epochs=5)
+        for epoch in range(500):
+            store.write_many("load", epoch, [float(epoch), float(epoch) / 2])
+        assert store.values("load").tolist() == [
+            v for e in range(495, 500) for v in (float(e), e / 2)
+        ]
+        epochs, peaks = store.peak_series("load")
+        assert epochs.tolist() == list(range(495, 500))
+        assert peaks.tolist() == [float(e) for e in range(495, 500)]
+
+
+class TestVersions:
+    def test_version_starts_at_zero_for_missing_series(self):
+        assert TimeSeriesStore().series_version("nope") == 0
+
+    def test_version_bumps_on_writes(self):
+        store = TimeSeriesStore()
+        store.write("load", 0, 1.0)
+        v1 = store.series_version("load")
+        store.write("load", 1, 1.0)
+        assert store.series_version("load") > v1
+
+    def test_version_bumps_on_retention_prune(self):
+        store = TimeSeriesStore(retention_epochs=1)
+        store.write("load", 0, 1.0)
+        v1 = store.series_version("load")
+        store.write("load", 5, 1.0)  # write + prune of epoch 0
+        assert store.series_version("load") >= v1 + 2
+
+
 class TestRetention:
     def test_old_epochs_are_dropped(self):
         store = TimeSeriesStore(retention_epochs=3)

@@ -1,0 +1,257 @@
+"""Unit tests for the Benders cross-epoch warm-start layer (CutPool)."""
+
+import numpy as np
+import pytest
+
+from repro.core.benders import BendersSolver, CutPool, _MasterState, warm_start_key
+from repro.core.decomposition import SlaveProblem
+from repro.core.forecast_inputs import ForecastInput
+from repro.core.problem import ACRRProblem
+from repro.core.slices import EMBB_TEMPLATE, make_requests
+from repro.topology.paths import compute_path_sets
+from tests.conftest import build_tiny_topology
+
+
+def small_problem(load_fraction=0.3, num_tenants=4, edge_cpus=12.0):
+    topology = build_tiny_topology(
+        num_base_stations=2,
+        bs_capacity_mhz=22.0,
+        link_capacity_mbps=900.0,
+        edge_cpus=edge_cpus,
+        core_cpus=90.0,
+    )
+    path_set = compute_path_sets(topology, k=2)
+    requests = make_requests(EMBB_TEMPLATE, num_tenants, duration_epochs=24)
+    forecasts = {
+        request.name: ForecastInput(
+            lambda_hat_mbps=load_fraction * request.sla_mbps, sigma_hat=0.2
+        )
+        for request in requests
+    }
+    return ACRRProblem(
+        topology=topology, path_set=path_set, requests=requests, forecasts=forecasts
+    )
+
+
+def perturbed(problem, scale):
+    forecasts = {
+        request.name: ForecastInput(
+            lambda_hat_mbps=min(
+                problem.forecast(request.name).lambda_hat_mbps * scale,
+                request.sla_mbps,
+            ),
+            sigma_hat=problem.forecast(request.name).sigma_hat,
+        )
+        for request in problem.requests
+    }
+    return ACRRProblem(
+        topology=problem.topology,
+        path_set=problem.path_set,
+        requests=problem.requests,
+        forecasts=forecasts,
+        options=problem.options,
+    )
+
+
+def fingerprint(decision):
+    from repro.scenarios import decision_fingerprint
+
+    return decision_fingerprint(decision)
+
+
+class TestCutPool:
+    def test_empty_pool_seeds_nothing(self):
+        problem = small_problem()
+        pool = CutPool()
+        slave = SlaveProblem(problem)
+        master = _MasterState(problem, problem.objective_x(), slave.objective_lower_bound())
+        seeded, best_x, _token = pool.seed_master(warm_start_key(problem), master, slave)
+        assert seeded == 0
+        assert best_x is None
+
+    def test_record_then_seed_roundtrip(self):
+        problem = small_problem()
+        solver = BendersSolver(warm_start=True)
+        decision = solver.solve(problem)
+        assert decision.stats.cuts_warm == 0  # first solve is cold
+
+        pool = solver.cut_pool
+        key = warm_start_key(problem)
+        slave = SlaveProblem(problem)
+        master = _MasterState(problem, problem.objective_x(), slave.objective_lower_bound())
+        seeded, best_x, _token = pool.seed_master(key, master, slave)
+        assert seeded == decision.stats.cuts_optimality + decision.stats.cuts_feasibility
+        assert master.num_cuts == seeded
+        assert best_x is not None and best_x.shape == (problem.num_items,)
+
+    def test_row_count_mismatch_seeds_nothing(self):
+        problem = small_problem()
+        solver = BendersSolver(warm_start=True)
+        solver.solve(problem)
+        other = small_problem(num_tenants=5)  # different structure and rows
+        slave = SlaveProblem(other)
+        master = _MasterState(other, other.objective_x(), slave.objective_lower_bound())
+        # Force the wrong key on purpose: even then the shape check refuses.
+        seeded, best_x, _token = solver.cut_pool.seed_master(
+            warm_start_key(problem), master, slave
+        )
+        assert seeded == 0
+        assert best_x is None
+
+    def test_severely_stale_cuts_are_dropped(self):
+        problem = small_problem(load_fraction=0.2)
+        pool = CutPool(max_relative_slack=0.0)
+        solver = BendersSolver(warm_start=True, cut_pool=pool)
+        solver.solve(problem)
+        # A big perturbation changes the slave objective d; with a zero slack
+        # budget every optimality cut whose dual feasibility moved is dropped.
+        big = perturbed(problem, 3.0)
+        slave = SlaveProblem(big)
+        master = _MasterState(big, big.objective_x(), slave.objective_lower_bound())
+        seeded, _, _ = pool.seed_master(warm_start_key(big), master, slave)
+        assert pool.dropped_total >= 1
+        assert seeded + pool.dropped_total >= 1
+
+    def test_cut_cap_evicts_oldest(self):
+        pool = CutPool(max_cuts_per_structure=3)
+        key = ("k",)
+        mus = [(np.full(4, float(i)), True) for i in range(5)]
+        pool.record(key, 4, mus, best_x=None)
+        entry = pool.entry(key)
+        assert len(entry.multipliers) == 3
+        assert entry.multipliers[0][0][0] == 2.0  # oldest two evicted
+
+    def test_structure_cap_evicts_least_recently_used(self):
+        pool = CutPool(max_structures=2)
+        pool.record(("a",), 4, [(np.zeros(4), True)], None)
+        pool.record(("b",), 4, [(np.zeros(4), True)], None)
+        assert pool.entry(("a",)) is not None  # touch: "a" becomes most recent
+        pool.record(("c",), 4, [(np.zeros(4), True)], None)
+        assert len(pool) == 2
+        assert pool.entry(("b",)) is None
+        assert pool.entry(("a",)) is not None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CutPool(max_cuts_per_structure=0)
+        with pytest.raises(ValueError):
+            CutPool(max_structures=0)
+        with pytest.raises(ValueError):
+            CutPool(max_relative_slack=-0.1)
+
+
+class TestWarmStartKey:
+    def test_key_ignores_arrival_epoch(self):
+        problem = small_problem()
+        from dataclasses import replace
+
+        shifted = [replace(r, arrival_epoch=r.arrival_epoch + 7) for r in problem.requests]
+        other = ACRRProblem(
+            topology=problem.topology,
+            path_set=problem.path_set,
+            requests=shifted,
+            forecasts={r.name: problem.forecast(r.name) for r in problem.requests},
+            options=problem.options,
+        )
+        assert warm_start_key(problem) == warm_start_key(other)
+
+    def test_key_tracks_topology_mutation(self):
+        from dataclasses import replace
+
+        problem = small_problem()
+        key_before = warm_start_key(problem)
+        link = problem.topology.links[0]
+        problem.topology.replace_link(
+            replace(link, capacity_mbps=link.capacity_mbps * 0.5)
+        )
+        assert warm_start_key(problem) != key_before
+
+
+class TestWarmStartedSolver:
+    def test_fast_path_replays_identical_resolve(self):
+        problem = small_problem()
+        solver = BendersSolver(warm_start=True)
+        first = solver.solve(problem)
+        second = solver.solve(problem)
+        assert second.stats.cuts_warm > 0
+        # A byte-identical instance is replayed without touching the master:
+        # zero iterations, and the original solve's certificate is carried
+        # over verbatim.
+        assert second.stats.iterations == 0
+        assert second.stats.optimal == first.stats.optimal
+        assert second.stats.gap == first.stats.gap
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_warm_decisions_match_cold_under_drift(self):
+        base = small_problem()
+        rng = np.random.default_rng(7)
+        warm = BendersSolver(warm_start=True)
+        cold_iters = warm_iters = 0
+        for _ in range(6):
+            instance = perturbed(base, 1.0 + float(rng.uniform(-0.03, 0.03)))
+            cold_decision = BendersSolver(warm_start=False).solve(instance)
+            warm_decision = warm.solve(instance)
+            cold_iters += cold_decision.stats.iterations
+            warm_iters += warm_decision.stats.iterations
+            assert fingerprint(cold_decision) == fingerprint(warm_decision)
+        assert warm_iters <= cold_iters
+
+    def test_time_truncated_solve_is_never_replayed(self):
+        """A wall-clock-truncated incumbent is machine-dependent, so the
+        replay tier must not canonise it for byte-identical re-solves."""
+        problem = small_problem()
+        # Near-exact tolerances keep the gap from closing at iteration 1, so
+        # the zero-second time limit is what actually stops the loop.
+        solver = BendersSolver(
+            tolerance=1e-9,
+            relative_tolerance=1e-9,
+            warm_start=True,
+            time_limit_s=0.0,
+        )
+        first = solver.solve(problem)  # breaks on the time limit immediately
+        assert first.stats.iterations >= 1
+        assert not first.stats.optimal
+        second = solver.solve(problem)
+        assert second.stats.iterations >= 1  # no zero-iteration replay
+
+    def test_instance_token_covers_time_limits(self):
+        problem = small_problem()
+        from repro.core.decomposition import SlaveProblem
+
+        slave = SlaveProblem(problem)
+        args = (slave, problem.objective_x(), slave.objective_lower_bound())
+        with_limit = BendersSolver(time_limit_s=60.0)._instance_token(*args)
+        without_limit = BendersSolver(time_limit_s=None)._instance_token(*args)
+        assert with_limit != without_limit
+
+    def test_warm_start_disabled_has_no_pool(self):
+        solver = BendersSolver(warm_start=False)
+        assert solver.cut_pool is None
+        decision = solver.solve(small_problem())
+        assert decision.stats.cuts_warm == 0
+
+    def test_shared_pool_across_solver_instances(self):
+        pool = CutPool()
+        problem = small_problem()
+        BendersSolver(warm_start=True, cut_pool=pool).solve(problem)
+        second = BendersSolver(warm_start=True, cut_pool=pool).solve(problem)
+        assert second.stats.cuts_warm > 0
+        assert second.stats.iterations == 0  # identical instance: replayed
+
+    def test_capacity_loss_falls_back_to_cold_loop(self):
+        """Shrinking a resource must invalidate the certified optimum."""
+        problem = small_problem(edge_cpus=12.0)
+        solver = BendersSolver(warm_start=True)
+        first = solver.solve(problem)
+        assert first.num_accepted > 0
+        shrunk_topology = small_problem(edge_cpus=2.0).topology
+        shrunk = ACRRProblem(
+            topology=shrunk_topology,
+            path_set=compute_path_sets(shrunk_topology, k=2),
+            requests=problem.requests,
+            forecasts={r.name: problem.forecast(r.name) for r in problem.requests},
+            options=problem.options,
+        )
+        cold = BendersSolver(warm_start=False).solve(shrunk)
+        warm = solver.solve(shrunk)
+        assert fingerprint(cold) == fingerprint(warm)

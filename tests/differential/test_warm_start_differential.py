@@ -1,0 +1,79 @@
+"""Warm-vs-cold differential checking of the Benders warm-start layer.
+
+For every sampled scenario, a warm-started Benders solver carried across a
+sequence of steady-state forecast drifts must produce decisions that are
+*bit-identical* to fresh cold solves of the same instances: the warm fast
+path either certifies the previous optimum under the solver's own stopping
+rule or falls back to the exact cold trajectory, so any fingerprint
+difference is a warm-start bug.  Warm starts must also never cost extra
+master iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import DIFFERENTIAL_FAMILY, sample_scenario, warm_start_check
+from tests.differential.conftest import (
+    BASE_SEED,
+    NUM_DIFFERENTIAL_SCENARIOS,
+    seed_note,
+)
+
+pytestmark = pytest.mark.differential
+
+SEEDS = [BASE_SEED + index for index in range(NUM_DIFFERENTIAL_SCENARIOS)]
+
+#: Steady-state drift epochs checked per scenario (on top of the cold
+#: epoch-0 instance).  Two keep the sweep inside the CI time cap while
+#: still exercising consecutive fast-path hits.
+_NUM_PERTURBATIONS = 2
+
+#: Per-seed outcomes, shared across the tests in this module so the
+#: aggregate assertions do not redo the sweep's solver work.
+_OUTCOMES: dict[int, object] = {}
+
+
+def _outcome(seed):
+    if seed not in _OUTCOMES:
+        scenario = sample_scenario(DIFFERENTIAL_FAMILY, seed=seed)
+        _OUTCOMES[seed] = warm_start_check(
+            scenario, num_perturbations=_NUM_PERTURBATIONS
+        )
+    return _OUTCOMES[seed]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_warm_start_is_bit_identical_to_cold(seed):
+    outcome = _outcome(seed)
+    assert outcome.identical, (
+        f"warm-started Benders diverged from cold solves: {outcome.describe()} "
+        f"{seed_note(seed)}"
+    )
+    assert outcome.warm_iterations <= outcome.cold_iterations, (
+        f"warm start cost extra master iterations: {outcome.describe()} "
+        f"{seed_note(seed)}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_warm_start_is_bit_identical_under_exact_tolerances(seed):
+    """Same claim under the harness's near-exact stopping rule (1e-9)."""
+    scenario = sample_scenario(DIFFERENTIAL_FAMILY, seed=seed)
+    outcome = warm_start_check(
+        scenario, num_perturbations=_NUM_PERTURBATIONS, exact_tolerances=True
+    )
+    assert outcome.identical, f"{outcome.describe()} {seed_note(seed)}"
+
+
+def test_warm_start_fast_path_engages_somewhere():
+    """The sweep exercises the fast path, not just the cold fallback."""
+    hits = sum(_outcome(seed).fast_path_hits for seed in SEEDS[:8])
+    assert hits > 0
+
+
+def test_warm_start_check_is_reproducible():
+    scenario = sample_scenario(DIFFERENTIAL_FAMILY, seed=BASE_SEED)
+    first = warm_start_check(scenario, num_perturbations=1)
+    second = warm_start_check(scenario, num_perturbations=1)
+    assert first == second
