@@ -20,7 +20,7 @@ import pytest
 from repro.core.benders import BendersSolver, _MasterState
 from repro.core.decomposition import SlaveProblem
 from repro.core.problem import ACRRProblem
-from repro.core.slices import EMBB_TEMPLATE, SliceRequest, make_requests
+from repro.core.slices import EMBB_TEMPLATE, make_requests
 from repro.core.solution import TenantAllocation
 from repro.dataplane.multiplexing import SliceMultiplexer
 from repro.simulation.runner import run_scenario

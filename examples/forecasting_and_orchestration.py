@@ -12,9 +12,10 @@ Run with:  python examples/forecasting_and_orchestration.py
 
 import numpy as np
 
-from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig
+from repro.api import SliceBroker, SliceRequestV1
+from repro.controlplane.orchestrator import OrchestratorConfig
 from repro.core.milp_solver import DirectMILPSolver
-from repro.core.slices import URLLC_TEMPLATE, SliceRequest
+from repro.core.slices import URLLC_TEMPLATE
 from repro.forecasting import (
     DoubleExponentialForecaster,
     HoltWintersForecaster,
@@ -56,31 +57,39 @@ def forecasting_demo(num_days: int = 4) -> None:
 def orchestration_demo(num_epochs: int = 4) -> None:
     print("Adaptive reservations make room for more slices")
     print("-" * 64)
-    orchestrator = E2EOrchestrator(
+    broker = SliceBroker(
         topology=testbed_topology(),
         solver=DirectMILPSolver(),
         config=OrchestratorConfig(epochs_per_day=EPOCHS_PER_DAY, samples_per_epoch=12),
     )
-    orchestrator.submit_request(SliceRequest(name="uRLLC-A", template=URLLC_TEMPLATE, arrival_epoch=0))
-    orchestrator.submit_request(SliceRequest(name="uRLLC-B", template=URLLC_TEMPLATE, arrival_epoch=2))
+    # Lifecycle events arrive through the bus -- no registry polling.
+    broker.events.subscribe(
+        lambda event: print(f"    event: {event.kind.value} {event.slice_name} @ epoch {event.epoch}")
+    )
+    # Northbound submission: versioned DTOs, deferred arrival for uRLLC-B.
+    broker.submit_batch(
+        [
+            SliceRequestV1.of("uRLLC-A", "uRLLC", arrival_epoch=0),
+            SliceRequestV1.of("uRLLC-B", "uRLLC", arrival_epoch=2),
+        ]
+    )
 
     demand = demand_for_template(
         URLLC_TEMPLATE, DemandSpec(mean_fraction=0.4, relative_std=0.1), seed=7
     )
     for epoch in range(num_epochs):
-        decision = orchestrator.run_epoch(epoch)
-        admitted = ", ".join(sorted(decision.accepted_tenants)) or "(none)"
+        report = broker.advance_epoch(epoch)
+        admitted = ", ".join(report.accepted) or "(none)"
         reservations = {
-            name: round(alloc.reservations_mbps.get("bs-0", 0.0), 1)
-            for name, alloc in decision.allocations.items()
-            if alloc.accepted
+            name: round(broker.status(name).reservations_mbps.get("bs-0", 0.0), 1)
+            for name in report.accepted
         }
         print(f"  epoch {epoch}: admitted [{admitted}] reservations at bs-0: {reservations}")
         # Feed monitoring data for whatever is admitted so the next epoch can adapt.
-        for name in decision.accepted_tenants:
+        for name in report.accepted:
             samples = demand.sample_epoch(epoch, 12).samples_mbps
             for bs in ("bs-0", "bs-1"):
-                orchestrator.observe_load(name, bs, epoch, list(samples))
+                broker.report_load(name, bs, epoch, list(samples))
     print()
     print(
         "  uRLLC-B only fits once uRLLC-A's measured load (≈10 Mb/s) lets the\n"

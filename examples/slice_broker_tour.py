@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Tour of the northbound SliceBroker service API.
+
+Walks through the whole tenant-facing surface on a small testbed:
+
+1. versioned DTOs (``SliceRequestV1`` payloads survive a JSON round trip),
+2. idempotent and batch submission with client tokens,
+3. non-binding quotes,
+4. decision epochs returning ``EpochReport`` DTOs,
+5. the lifecycle event bus (admitted / rejected / expired / renewed /
+   released, delivered in deterministic order),
+6. the structured error taxonomy (every failure is a ``BrokerError`` subclass
+   with a stable ``code``).
+
+Run with:  python examples/slice_broker_tour.py
+"""
+
+import json
+
+from repro.api import (
+    BrokerError,
+    SliceBroker,
+    SliceRequestV1,
+)
+from repro.core.milp_solver import DirectMILPSolver
+from repro.topology.operators import testbed_topology
+
+
+def main(num_epochs: int = 6) -> None:
+    broker = SliceBroker(topology=testbed_topology(), solver=DirectMILPSolver())
+
+    print("Lifecycle events (subscribed, not polled)")
+    print("-" * 64)
+    broker.events.subscribe(
+        lambda event: print(f"  [{event.epoch}] {event.kind.value:<9} {event.slice_name}")
+    )
+
+    # --- 1. DTOs survive the wire ------------------------------------- #
+    request = SliceRequestV1.of("uRLLC-A", "uRLLC", duration_epochs=3)
+    payload = json.dumps(request.to_dict(), sort_keys=True)
+    decoded = SliceRequestV1.from_dict(json.loads(payload))
+    assert decoded == request
+    print(f"  wire payload carries schema_version={request.to_dict()['schema_version']}")
+
+    # --- 2. Batch + idempotent submission ------------------------------ #
+    tickets = broker.submit_batch(
+        [
+            decoded,
+            SliceRequestV1.of("mMTC-A", "mMTC", duration_epochs=4),
+            SliceRequestV1.of("eMBB-late", "eMBB", duration_epochs=2, arrival_epoch=2),
+        ],
+        client_tokens=["tok-a", "tok-b", "tok-c"],
+    )
+    replay = broker.submit(decoded, client_token="tok-a")  # lost-response retry
+    assert replay == tickets[0]
+    print(f"  batch accepted: {[t.ticket_id for t in tickets]} (tok-a replay deduplicated)")
+
+    # --- 3. Quotes ------------------------------------------------------ #
+    quote = broker.quote(SliceRequestV1.of("probe", "eMBB"))
+    print(
+        f"  quote for eMBB probe: forecast {quote.forecast_peak_mbps:.1f} Mb/s "
+        f"(sigma {quote.forecast_sigma:.2f}), reward {quote.reward_per_epoch:.1f}/epoch"
+    )
+
+    # --- 4 + 5. Epochs, reports and events ------------------------------ #
+    print("\nDecision epochs")
+    print("-" * 64)
+    for epoch in range(num_epochs):
+        report = broker.advance_epoch(epoch)
+        print(
+            f"  epoch {epoch}: accepted={list(report.accepted)} "
+            f"active={list(report.active)} pending={report.pending_requests} "
+            f"solver={report.solver or '-'}"
+        )
+        if epoch == 1:
+            # Tenant-initiated early release frees mMTC-A's reservations.
+            broker.release("mMTC-A", epoch=epoch)
+
+    # --- 6. Error taxonomy ---------------------------------------------- #
+    print("\nError taxonomy (stable codes)")
+    print("-" * 64)
+    failures = [
+        ("malformed payload", lambda: broker.submit({"name": "broken"})),
+        ("duplicate queued name", lambda: _double_submit(broker)),
+        ("release of unknown slice", lambda: broker.release("ghost", epoch=0)),
+    ]
+    for label, failure in failures:
+        try:
+            failure()
+        except BrokerError as error:
+            print(f"  {label:<26} -> {type(error).__name__} (code={error.code!r})")
+
+    print("\nFinal slice statuses")
+    print("-" * 64)
+    for status in broker.list_slices():
+        print(f"  {status.name:<10} {status.state}")
+
+
+def _double_submit(broker: SliceBroker) -> None:
+    request = SliceRequestV1.of("dup", "eMBB", arrival_epoch=99)
+    broker.submit(request)
+    try:
+        broker.submit(request)  # same name still queued -> duplicate
+    finally:
+        broker.release("dup", epoch=0)  # withdraw the queued request again
+
+
+if __name__ == "__main__":
+    main()

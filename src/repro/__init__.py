@@ -17,6 +17,9 @@ The package is organised around the paper's architecture:
   network services, per-domain usage accounting).
 * :mod:`repro.controlplane` -- slice manager, E2E orchestrator and domain
   controllers (the hierarchical control plane of Fig. 2).
+* :mod:`repro.api` -- the northbound SliceBroker service API (versioned DTOs,
+  error taxonomy, lifecycle events): the supported entry point to the control
+  plane.
 * :mod:`repro.simulation` -- the decision-epoch simulation engine and revenue
   accounting used to reproduce the evaluation.
 * :mod:`repro.experiments` -- one module per table/figure of the paper.
@@ -41,6 +44,7 @@ from repro.topology.operators import (
     italian_topology,
 )
 from repro.controlplane.orchestrator import E2EOrchestrator
+from repro.api import SliceBroker, SliceRequestV1
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.scenario import Scenario
 
@@ -62,6 +66,8 @@ __all__ = [
     "swiss_topology",
     "italian_topology",
     "E2EOrchestrator",
+    "SliceBroker",
+    "SliceRequestV1",
     "SimulationEngine",
     "Scenario",
     "__version__",

@@ -1,0 +1,56 @@
+"""Northbound SliceBroker service API (the paper's tenant-facing interface).
+
+This package is the supported entry point to the control plane:
+
+* :class:`~repro.api.broker.SliceBroker` -- the transport-agnostic facade
+  (submit / submit_batch / quote / advance_epoch / status / release);
+* :mod:`repro.api.dtos` -- versioned, JSON-serialisable DTOs
+  (``SliceRequestV1``, ``AdmissionTicket``, ``SliceStatus``,
+  ``QuoteResponse``, ``EpochReport``);
+* :mod:`repro.api.errors` -- the structured error taxonomy
+  (``BrokerError`` -> ``ValidationError`` / ``DuplicateSliceError`` /
+  ``LifecycleError`` / ``SolverError``, each with a stable ``code``);
+* :mod:`repro.api.events` -- the lifecycle event bus (ADMITTED / REJECTED /
+  EXPIRED / RENEWED / RELEASED).
+
+See DESIGN.md, section "Northbound API", for the versioning rules, the error
+codes and the event ordering contract.
+"""
+
+from repro.api.broker import SliceBroker
+from repro.api.dtos import (
+    AdmissionTicket,
+    EpochReport,
+    QuoteResponse,
+    SliceRequestV1,
+    SliceStatus,
+)
+from repro.api.errors import (
+    BrokerError,
+    DuplicateSliceError,
+    LifecycleError,
+    SolverError,
+    ValidationError,
+    error_from_dict,
+)
+from repro.api.events import EventBus, LifecycleEvent, LifecycleEventKind
+from repro.api.wire import WIRE_VERSION
+
+__all__ = [
+    "SliceBroker",
+    "SliceRequestV1",
+    "AdmissionTicket",
+    "SliceStatus",
+    "QuoteResponse",
+    "EpochReport",
+    "BrokerError",
+    "ValidationError",
+    "DuplicateSliceError",
+    "LifecycleError",
+    "SolverError",
+    "error_from_dict",
+    "EventBus",
+    "LifecycleEvent",
+    "LifecycleEventKind",
+    "WIRE_VERSION",
+]

@@ -1,0 +1,780 @@
+"""The northbound SliceBroker facade: the supported entry point to the
+control plane.
+
+The paper's OVNES broker exposes a northbound interface through which tenants
+request, renew and release slices.  :class:`SliceBroker` is that surface for
+this reproduction: a thin, versioned, transport-agnostic facade over the
+:class:`~repro.controlplane.orchestrator.E2EOrchestrator` that
+
+* accepts :class:`~repro.api.dtos.SliceRequestV1` DTOs (or raw payload
+  dictionaries, or in-process :class:`~repro.core.slices.SliceRequest`
+  objects) and returns :class:`~repro.api.dtos.AdmissionTicket` receipts,
+  with idempotent client tokens and atomic batch submission;
+* translates every internal failure into the structured
+  :class:`~repro.api.errors.BrokerError` taxonomy -- bare ``ValueError`` /
+  ``SliceStateError`` never cross the boundary;
+* publishes lifecycle events (ADMITTED / REJECTED / EXPIRED / RENEWED /
+  RELEASED) on an :class:`~repro.api.events.EventBus` *after* the registry
+  and controllers are consistent for the epoch;
+* drives decision epochs through :meth:`advance_epoch`, returning an
+  :class:`~repro.api.dtos.EpochReport` DTO instead of raw solver objects.
+
+Routing through the facade is *bit-identical* to calling the orchestrator
+directly: the broker adds intake validation, error translation and event
+derivation around the exact same call sequence, and never perturbs the solver
+path (the golden-run harness and the differential sweeps pin this).
+
+In-process drivers (the simulation engine, benchmarks) additionally need the
+raw decision/problem objects of the last epoch; the broker exposes them as
+documented escape hatches (:attr:`last_decision`, :attr:`last_problem`,
+:meth:`active_slices`) so such drivers still route every *mutation* through
+the facade.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.api.dtos import (
+    AdmissionTicket,
+    EpochReport,
+    QuoteResponse,
+    SliceRequestV1,
+    SliceStatus,
+)
+from repro.api.errors import (
+    DuplicateSliceError,
+    LifecycleError,
+    SolverError,
+    ValidationError,
+)
+from repro.api.events import EventBus, LifecycleEvent, LifecycleEventKind
+from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig
+from repro.controlplane.slice_manager import SliceDescriptor
+from repro.controlplane.state import (
+    TERMINAL_STATES,
+    SliceRecord,
+    SliceState,
+    SliceStateError,
+)
+from repro.core.forecast_inputs import ForecastInput
+from repro.core.slices import SliceRequest
+
+
+def _coerce_request(
+    request: SliceRequestV1 | SliceRequest | Mapping[str, Any],
+) -> SliceRequest:
+    """Accept the three supported request forms, normalised to the core type."""
+    if isinstance(request, SliceRequest):
+        return request
+    if isinstance(request, SliceRequestV1):
+        return request.to_request()
+    if isinstance(request, Mapping):
+        return SliceRequestV1.from_dict(request).to_request()
+    raise ValidationError(
+        "slice request must be a SliceRequestV1, a SliceRequest or a payload "
+        f"mapping, got {type(request).__name__}"
+    )
+
+
+def _request_fingerprint(request: SliceRequest) -> str:
+    """Canonical content fingerprint used to police idempotency-token reuse.
+
+    Covers the V1 wire fields plus the in-process-only fields (``committed``,
+    ``metadata``) so two :class:`SliceRequest` objects that differ anywhere
+    the solver can see never fingerprint as the same payload.
+    """
+    payload = SliceRequestV1.from_request(request).to_dict()
+    payload["committed"] = request.committed
+    payload["metadata"] = sorted(
+        (str(key), repr(value)) for key, value in request.metadata.items()
+    )
+    return json.dumps(payload, sort_keys=True)
+
+
+def _request_name_hint(
+    request: SliceRequestV1 | SliceRequest | Mapping[str, Any],
+) -> str | None:
+    """Best-effort slice name of an un-coerced request (None if malformed)."""
+    if isinstance(request, (SliceRequest, SliceRequestV1)):
+        return request.name
+    if isinstance(request, Mapping):
+        name = request.get("name")
+        return name if isinstance(name, str) else None
+    return None
+
+
+#: Default bound on the idempotency-token and released/withdrawn-marker
+#: caches.  A long-running broker serving heavy multi-client traffic must not
+#: grow per-request state without limit; when a cache overflows, entries are
+#: evicted oldest-first with fail-safe exclusions (a still-queued
+#: submission's token is never dropped -- its retry contract stays intact).
+#: Evicting a marker only degrades how an *old, terminal* slice is reported:
+#: a released slice's status falls back to "expired", and a released
+#: never-registered (withdrawn-while-queued) name falls back to "unknown
+#: slice"; live state is never affected.
+DEFAULT_CACHE_LIMIT = 65536
+
+
+def _evict_oldest(cache: dict, limit: int) -> None:
+    """FIFO-evict until ``cache`` fits ``limit`` (dicts preserve insertion order)."""
+    while len(cache) > limit:
+        del cache[next(iter(cache))]
+
+
+class SliceBroker:
+    """Versioned northbound service API over one orchestrator instance."""
+
+    def __init__(
+        self,
+        topology=None,
+        solver=None,
+        *,
+        config: OrchestratorConfig | None = None,
+        orchestrator: E2EOrchestrator | None = None,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
+        **orchestrator_kwargs,
+    ):
+        if orchestrator is None:
+            if topology is None or solver is None:
+                raise ValidationError(
+                    "SliceBroker needs either an orchestrator or a (topology, solver) pair"
+                )
+            orchestrator = E2EOrchestrator(
+                topology, solver, config=config, **orchestrator_kwargs
+            )
+        elif (
+            topology is not None
+            or solver is not None
+            or config is not None
+            or orchestrator_kwargs
+        ):
+            raise ValidationError(
+                "pass either an orchestrator or (topology, solver, config, ...), "
+                "not both"
+            )
+        self._orchestrator = orchestrator
+        #: Lifecycle event bus; subscribe instead of polling the registry.
+        self.events = EventBus()
+        self._tickets_by_token: dict[str, tuple[str, AdmissionTicket]] = {}
+        #: name -> client token of the *currently queued* submission under
+        #: that name (if any): withdrawing the queued request must invalidate
+        #: exactly that token's ticket, and no other.
+        self._token_by_queued_name: dict[str, str] = {}
+        self._ticket_counter = 0
+        #: name -> renewal count at release time, to report "released" (not
+        #: "expired") until the name is renewed into a fresh life.
+        self._released: dict[str, int] = {}
+        #: Queued submissions withdrawn before ever reaching the registry:
+        #: lets status() keep answering "released" for them instead of
+        #: claiming the name was never submitted.
+        self._withdrawn: dict[str, tuple[int, int]] = {}
+        #: FIFO bound applied to the token and released-marker caches.
+        self._cache_limit = max(1, int(cache_limit))
+        self._last_decision = None
+        #: Registry snapshot (state + renewal count per name) as of the last
+        #: *published* events.  Persisting it across a failed advance_epoch
+        #: means transitions the failed epoch already committed (e.g. an
+        #: expiry from expire_due before the solver raised) are still derived
+        #: -- and published -- on the next successful epoch instead of being
+        #: silently dropped.  Seeded from the wrapped orchestrator's registry
+        #: so wrapping an already-driven orchestrator does not replay its
+        #: whole history as spurious first-epoch events.
+        registry = self._orchestrator.registry
+        self._event_baseline: dict[str, tuple[SliceState, int]] = {
+            record.name: (record.state, registry.renewal_count(record.name))
+            for record in registry.all_records()
+        }
+
+    # ------------------------------------------------------------------ #
+    # In-process accessors (documented escape hatches; all read-only)
+    # ------------------------------------------------------------------ #
+    @property
+    def orchestrator(self) -> E2EOrchestrator:
+        """The wrapped orchestrator (for tests/benchmarks tweaking config)."""
+        return self._orchestrator
+
+    @property
+    def last_decision(self):
+        """Raw decision of the most recent :meth:`advance_epoch` (idle included)."""
+        return self._last_decision
+
+    @property
+    def last_problem(self):
+        """The AC-RR problem of the last non-idle epoch (``None`` after idle)."""
+        return self._orchestrator.last_problem
+
+    @property
+    def pending_count(self) -> int:
+        """Requests queued at intake, not yet released into an epoch batch."""
+        return self._orchestrator.slice_manager.pending_count
+
+    def active_slices(self, epoch: int) -> list[SliceRecord]:
+        """Registry records of slices that must stay provisioned at ``epoch``."""
+        return self._orchestrator.registry.active_slices(epoch)
+
+    def admitted_names(self) -> list[str]:
+        """Names currently in the ADMITTED state, in registry order."""
+        return self._orchestrator.registry.admitted_names()
+
+    def rejected_names(self) -> list[str]:
+        """Names currently in the REJECTED state, in registry order."""
+        return self._orchestrator.registry.rejected_names()
+
+    # ------------------------------------------------------------------ #
+    # Submission (single, batch, deferred, idempotent)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: SliceRequestV1 | SliceRequest | Mapping[str, Any],
+        *,
+        client_token: str | None = None,
+    ) -> AdmissionTicket:
+        """Queue one slice request for admission at its arrival epoch.
+
+        Deferred submission is the default semantics: a request whose
+        ``arrival_epoch`` lies in the future stays queued until that epoch's
+        batch is collected.  With ``client_token``, resubmitting the same
+        payload under the same token returns the original ticket without
+        enqueueing a second copy (at-most-once intake over lossy transports);
+        reusing a token with a *different* payload raises
+        :class:`DuplicateSliceError`.
+        """
+        core_request = _coerce_request(request)
+        if client_token is not None:
+            # Fingerprinting converts through the V1 DTO, whose stricter
+            # domain checks can reject an in-process SliceRequest -- keep
+            # that a structured error, not a bare ValueError.
+            try:
+                fingerprint = _request_fingerprint(core_request)
+            except (TypeError, ValueError) as error:
+                raise ValidationError(
+                    f"invalid slice request: {error}",
+                    details={"slice_name": core_request.name},
+                ) from error
+            replay = self._tickets_by_token.get(client_token)
+            if replay is not None:
+                stored_fingerprint, ticket = replay
+                if stored_fingerprint != fingerprint:
+                    raise DuplicateSliceError(
+                        f"client token {client_token!r} was already used for a "
+                        "different request payload",
+                        details={"client_token": client_token},
+                    )
+                return ticket
+        ticket = self._enqueue(core_request, client_token)
+        if client_token is not None:
+            self._tickets_by_token[client_token] = (fingerprint, ticket)
+            self._evict_replay_cache()
+        return ticket
+
+    def _evict_replay_cache(self) -> None:
+        """Bound the token-replay cache without breaking live retries.
+
+        Evicting a *still-queued* submission's token would turn its
+        legitimate lost-response retry into a DuplicateSliceError, so only
+        entries whose slice has left the intake queue are dropped (oldest
+        first); the remainder is bounded by the real queue length.
+        """
+        if len(self._tickets_by_token) <= self._cache_limit:
+            return
+        still_pending = {
+            request.name
+            for request in self._orchestrator.slice_manager.pending_requests
+        }
+        for token in list(self._tickets_by_token):
+            if len(self._tickets_by_token) <= self._cache_limit:
+                break
+            if self._tickets_by_token[token][1].slice_name not in still_pending:
+                del self._tickets_by_token[token]
+
+    def submit_batch(
+        self,
+        requests: Sequence[SliceRequestV1 | SliceRequest | Mapping[str, Any]],
+        *,
+        client_tokens: Sequence[str | None] | None = None,
+    ) -> list[AdmissionTicket]:
+        """Queue several requests atomically: all are accepted or none are.
+
+        If any request fails validation or intake, every request this call
+        already enqueued is withdrawn again before the error propagates --
+        the queue is left exactly as it was.  Token replays are served from
+        the token cache and are never rolled back (they were accepted by an
+        earlier call).
+        """
+        if client_tokens is not None and len(client_tokens) != len(requests):
+            raise ValidationError(
+                "client_tokens must be None or match the requests one-to-one",
+                details={"requests": len(requests), "client_tokens": len(client_tokens)},
+            )
+        tokens: Sequence[str | None] = client_tokens or [None] * len(requests)
+        tickets: list[AdmissionTicket] = []
+        enqueued: list[tuple[str, str | None]] = []
+        withdrawn_markers: dict[str, tuple[int, int]] = {}
+        try:
+            for request, token in zip(requests, tokens):
+                # Snapshot only this request's released-withdrawal marker
+                # (popped by _enqueue) so a rollback can restore it; copying
+                # the whole cache per batch would be O(cache_limit).
+                name_hint = _request_name_hint(request)
+                if name_hint is not None and name_hint in self._withdrawn:
+                    withdrawn_markers.setdefault(name_hint, self._withdrawn[name_hint])
+                was_replay = token is not None and token in self._tickets_by_token
+                ticket = self.submit(request, client_token=token)
+                if not was_replay:
+                    enqueued.append((ticket.slice_name, token))
+                tickets.append(ticket)
+        except Exception:
+            # Roll back on *any* failure, not just structured broker errors:
+            # an unexpected exception mid-batch must still leave the queue
+            # exactly as it was.
+            # Every entry in `enqueued` was a fresh (non-replay) submission,
+            # so any token it carries was inserted by this batch and is
+            # popped outright -- no pre-batch token snapshot needed.
+            for name, token in reversed(enqueued):
+                self._orchestrator.slice_manager.withdraw(name)
+                self._token_by_queued_name.pop(name, None)
+                if token is not None:
+                    self._tickets_by_token.pop(token, None)
+                if name in withdrawn_markers:
+                    # _enqueue popped the released-withdrawal marker; the
+                    # rollback must restore it so status() keeps answering
+                    # "released" exactly as before the failed batch.
+                    self._withdrawn[name] = withdrawn_markers[name]
+            raise
+        return tickets
+
+    def _enqueue(self, request: SliceRequest, client_token: str | None) -> AdmissionTicket:
+        if not request.name:
+            # The core SliceRequest permits an empty name; the northbound
+            # boundary does not (V1 DTOs reject it) -- enforce it here so
+            # in-process submissions behave the same with or without a token.
+            raise ValidationError("slice name must be non-empty")
+        manager = self._orchestrator.slice_manager
+        if manager.pending_request(request.name) is not None:
+            raise DuplicateSliceError(
+                f"a request named {request.name!r} is already queued",
+                details={"slice_name": request.name},
+            )
+        try:
+            # Intake validation (live-name renewals, queue uniqueness) lives
+            # in the orchestrator; the broker only translates its errors.
+            self._orchestrator.submit_request(request)
+        except SliceStateError as error:
+            raise LifecycleError(str(error), details={"slice_name": request.name}) from error
+        except ValueError as error:
+            raise ValidationError(str(error), details={"slice_name": request.name}) from error
+        if client_token is not None:
+            self._token_by_queued_name[request.name] = client_token
+            if len(self._token_by_queued_name) > self._cache_limit:
+                # Unlike the replay caches, evicting a *still-queued* entry
+                # would silently re-enable stale-ticket replay after a
+                # cancel; prune only entries whose name has left the queue
+                # (the rest is bounded by the real queue length).
+                still_pending = {r.name for r in manager.pending_requests}
+                self._token_by_queued_name = {
+                    name: token
+                    for name, token in self._token_by_queued_name.items()
+                    if name in still_pending
+                }
+        else:
+            self._token_by_queued_name.pop(request.name, None)
+        self._withdrawn.pop(request.name, None)
+        self._ticket_counter += 1
+        return AdmissionTicket(
+            ticket_id=f"tkt-{self._ticket_counter:06d}",
+            slice_name=request.name,
+            arrival_epoch=request.arrival_epoch,
+            descriptor=SliceDescriptor.from_request(request),
+            client_token=client_token,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Quotes
+    # ------------------------------------------------------------------ #
+    def quote(
+        self, request: SliceRequestV1 | SliceRequest | Mapping[str, Any]
+    ) -> QuoteResponse:
+        """Non-binding quote: the forecast and economics the broker would use.
+
+        Pure read: consults forecast overrides and the monitoring history
+        exactly as the next epoch would, without touching the queue or the
+        registry.
+        """
+        core_request = _coerce_request(request)
+        forecast = self._orchestrator.forecast_for(core_request)
+        return QuoteResponse(
+            slice_name=core_request.name,
+            slice_type=core_request.template.name,
+            sla_mbps=core_request.sla_mbps,
+            forecast_peak_mbps=forecast.lambda_hat_mbps,
+            forecast_sigma=forecast.sigma_hat,
+            reward_per_epoch=core_request.reward,
+            penalty_rate_per_mbps=core_request.penalty_rate_per_mbps,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Monitoring feedback and forecast control
+    # ------------------------------------------------------------------ #
+    def report_load(
+        self, slice_name: str, base_station: str, epoch: int, samples_mbps
+    ) -> None:
+        """Feed monitoring samples for one slice at one base station."""
+        self._orchestrator.observe_load(slice_name, base_station, epoch, samples_mbps)
+
+    def set_forecast_override(self, slice_name: str, forecast: ForecastInput) -> None:
+        """Pin one slice's forecast (oracle mode), overriding the online block."""
+        self._orchestrator.forecast_overrides[slice_name] = forecast
+
+    def set_forecast_overrides(self, overrides: Mapping[str, ForecastInput]) -> None:
+        """Replace the whole forecast-override table (oracle scenarios)."""
+        self._orchestrator.forecast_overrides = dict(overrides)
+
+    def set_forecasting(self, forecasting) -> None:
+        """Swap the online forecasting block (forecaster ablations)."""
+        self._orchestrator.forecasting = forecasting
+
+    # ------------------------------------------------------------------ #
+    # Decision epochs
+    # ------------------------------------------------------------------ #
+    def advance_epoch(self, epoch: int) -> EpochReport:
+        """Run one decision epoch and return its report.
+
+        Calls the orchestrator's AC-RR cycle (bit-identical to driving it
+        directly), derives the epoch's lifecycle events from the registry
+        transition, publishes them on :attr:`events` once the registry and
+        controllers are consistent, and returns the :class:`EpochReport` DTO.
+        Non-blocking from the caller's perspective: the report is plain data;
+        nothing needs to be polled afterwards.
+
+        Events survive failed epochs: if an ``advance_epoch`` raises after
+        the registry committed some transitions (expiries run before the
+        solve), those transitions are derived and published by the next
+        successful epoch -- stamped with the epoch that published them.
+        """
+        registry = self._orchestrator.registry
+        # Diff against the baseline of the last *published* events, not a
+        # fresh snapshot: if a previous advance_epoch failed after committing
+        # transitions (expiries run before the solve), those are derived now.
+        before = self._event_baseline
+        try:
+            decision = self._orchestrator.run_epoch(epoch)
+        except SliceStateError as error:
+            raise LifecycleError(str(error)) from error
+        except (ValueError, RuntimeError) as error:
+            # advance_epoch carries no tenant payload, so an internal
+            # ValueError is a control-plane fault, not a client validation
+            # failure -- both map to the solver-side error code.
+            raise SolverError(str(error)) from error
+        self._last_decision = decision
+        # Collected submissions left the intake queue; stop tracking their
+        # queued-withdrawal tokens (the replay cache itself stays intact).
+        still_pending = {
+            request.name
+            for request in self._orchestrator.slice_manager.pending_requests
+        }
+        self._token_by_queued_name = {
+            name: token
+            for name, token in self._token_by_queued_name.items()
+            if name in still_pending
+        }
+        events = self._derive_events(epoch, before, decision)
+        # Advance the baseline *before* fan-out: delivery is at-most-once per
+        # transition, so a subscriber raising mid-publish (exceptions
+        # propagate by contract) cannot make the next epoch re-publish the
+        # same transitions under a later epoch stamp.
+        self._event_baseline = {
+            record.name: (record.state, registry.renewal_count(record.name))
+            for record in registry.all_records()
+        }
+        # Registry + controllers are consistent here; only now fan out.
+        self.events.publish(events)
+        stats = decision.stats
+        return EpochReport(
+            epoch=epoch,
+            idle=stats.solver == "idle",
+            objective_value=decision.objective_value,
+            accepted=tuple(sorted(decision.accepted_tenants)),
+            rejected=tuple(sorted(decision.rejected_tenants)),
+            expired=tuple(
+                e.slice_name for e in events if e.kind is LifecycleEventKind.EXPIRED
+            ),
+            renewed=tuple(
+                e.slice_name for e in events if e.kind is LifecycleEventKind.RENEWED
+            ),
+            active=tuple(sorted(r.name for r in registry.active_slices(epoch))),
+            pending_requests=self.pending_count,
+            solver=stats.solver,
+            solver_iterations=stats.iterations,
+            solver_runtime_s=stats.runtime_s,
+            solver_optimal=stats.optimal,
+            solver_warm_cuts=stats.cuts_warm,
+            solver_message=stats.message,
+            events=tuple(events),
+        )
+
+    def _derive_events(
+        self,
+        epoch: int,
+        before: Mapping[str, tuple[SliceState, int]],
+        decision,
+    ) -> list[LifecycleEvent]:
+        """Diff the registry against its pre-epoch snapshot into events.
+
+        Order: EXPIRED, RENEWED, ADMITTED, REJECTED (the order the
+        transitions happen inside ``run_epoch``), names sorted within each
+        kind.  A renewal whose previous life was still ADMITTED going into
+        the epoch yields both the EXPIRED event of the old life and the
+        RENEWED (+ admission outcome) events of the new one.
+        """
+        registry = self._orchestrator.registry
+        expired: list[LifecycleEvent] = []
+        renewed: list[LifecycleEvent] = []
+        admitted: list[LifecycleEvent] = []
+        rejected: list[LifecycleEvent] = []
+
+        def admission_metadata(name: str) -> dict[str, Any]:
+            allocation = decision.allocations.get(name)
+            metadata: dict[str, Any] = {"objective_value": decision.objective_value}
+            if allocation is not None and allocation.accepted:
+                metadata["compute_unit"] = allocation.compute_unit
+                metadata["reserved_mbps_total"] = allocation.total_reserved_mbps
+            return metadata
+
+        for record in sorted(registry.all_records(), key=lambda r: r.name):
+            name = record.name
+            prev_state, prev_renewals = before.get(name, (None, 0))
+            renewals = registry.renewal_count(name)
+            if renewals > prev_renewals:
+                # The released marker described the archived life; the fresh
+                # record owns the name now.
+                self._released.pop(name, None)
+                old = registry.archived_records(name)[-1]
+                if prev_state is SliceState.ADMITTED and old.state is SliceState.EXPIRED:
+                    expired.append(
+                        LifecycleEvent(
+                            kind=LifecycleEventKind.EXPIRED,
+                            slice_name=name,
+                            epoch=epoch,
+                            metadata={"admitted_epoch": old.admitted_epoch},
+                        )
+                    )
+                renewed.append(
+                    LifecycleEvent(
+                        kind=LifecycleEventKind.RENEWED,
+                        slice_name=name,
+                        epoch=epoch,
+                        metadata={"renewal_index": renewals},
+                    )
+                )
+                if record.state is SliceState.ADMITTED:
+                    admitted.append(
+                        LifecycleEvent(
+                            kind=LifecycleEventKind.ADMITTED,
+                            slice_name=name,
+                            epoch=epoch,
+                            metadata=admission_metadata(name),
+                        )
+                    )
+                elif record.state is SliceState.REJECTED:
+                    rejected.append(
+                        LifecycleEvent(
+                            kind=LifecycleEventKind.REJECTED,
+                            slice_name=name,
+                            epoch=epoch,
+                            metadata=admission_metadata(name),
+                        )
+                    )
+            elif record.state is SliceState.ADMITTED and prev_state is not SliceState.ADMITTED:
+                admitted.append(
+                    LifecycleEvent(
+                        kind=LifecycleEventKind.ADMITTED,
+                        slice_name=name,
+                        epoch=epoch,
+                        metadata=admission_metadata(name),
+                    )
+                )
+            elif record.state is SliceState.REJECTED and prev_state is not SliceState.REJECTED:
+                rejected.append(
+                    LifecycleEvent(
+                        kind=LifecycleEventKind.REJECTED,
+                        slice_name=name,
+                        epoch=epoch,
+                        metadata=admission_metadata(name),
+                    )
+                )
+            elif record.state is SliceState.EXPIRED and prev_state is SliceState.ADMITTED:
+                expired.append(
+                    LifecycleEvent(
+                        kind=LifecycleEventKind.EXPIRED,
+                        slice_name=name,
+                        epoch=epoch,
+                        metadata={"admitted_epoch": record.admitted_epoch},
+                    )
+                )
+        return expired + renewed + admitted + rejected
+
+    # ------------------------------------------------------------------ #
+    # Status and release
+    # ------------------------------------------------------------------ #
+    def status(self, slice_name: str) -> SliceStatus:
+        """Lifecycle status of one slice (queued, registered or archived).
+
+        A *live* registry record (REQUESTED or ADMITTED) takes precedence
+        over a queued submission under the same name: with a pre-booked
+        renewal queued for a still-admitted slice, the status describes the
+        live slice, not the renewal waiting at intake.
+        """
+        manager = self._orchestrator.slice_manager
+        registry = self._orchestrator.registry
+        queued = manager.pending_request(slice_name)
+        record = registry.record(slice_name) if slice_name in registry else None
+        if queued is not None and (record is None or record.state in TERMINAL_STATES):
+            return SliceStatus(
+                name=slice_name,
+                state="queued",
+                arrival_epoch=queued.arrival_epoch,
+                duration_epochs=queued.duration_epochs,
+                renewal_count=registry.renewal_count(slice_name)
+                if record is not None
+                else 0,
+            )
+        if record is None:
+            withdrawn = self._withdrawn.get(slice_name)
+            if withdrawn is not None:
+                arrival_epoch, duration_epochs = withdrawn
+                return SliceStatus(
+                    name=slice_name,
+                    state="released",
+                    arrival_epoch=arrival_epoch,
+                    duration_epochs=duration_epochs,
+                )
+            raise LifecycleError(
+                f"unknown slice {slice_name!r}: never submitted to this broker",
+                details={"slice_name": slice_name},
+            )
+        renewals = registry.renewal_count(slice_name)
+        state = record.state.value
+        if (
+            record.state is SliceState.EXPIRED
+            and self._released.get(slice_name) == renewals
+        ):
+            state = "released"
+        return SliceStatus(
+            name=slice_name,
+            state=state,
+            arrival_epoch=record.request.arrival_epoch,
+            duration_epochs=record.request.duration_epochs,
+            admitted_epoch=record.admitted_epoch,
+            expires_at=record.expires_at(),
+            compute_unit=record.compute_unit,
+            reservations_mbps=dict(record.last_reservations_mbps),
+            renewal_count=renewals,
+        )
+
+    def list_slices(self) -> list[SliceStatus]:
+        """Status of every slice this broker knows, sorted by name."""
+        manager = self._orchestrator.slice_manager
+        names = {request.name for request in manager.pending_requests}
+        names.update(record.name for record in self._orchestrator.registry.all_records())
+        names.update(self._withdrawn)
+        return [self.status(name) for name in sorted(names)]
+
+    def release(self, slice_name: str, *, epoch: int) -> SliceStatus:
+        """Tenant-initiated release: terminate an admitted slice early, or
+        cancel a still-queued request.
+
+        A *live admitted* slice always takes precedence: if the name has both
+        a live slice and a pre-booked queued renewal, releasing it terminates
+        the live slice (the queued renewal stays queued -- cancel it with a
+        second ``release`` call if unwanted).  An admitted slice moves to the
+        terminal released state immediately; the controllers reclaim its
+        reservations at the start of the next decision epoch, exactly as a
+        natural expiry would.  The RELEASED event is published synchronously.
+        Releasing a slice that is neither queued nor admitted raises
+        :class:`LifecycleError`.
+        """
+        manager = self._orchestrator.slice_manager
+        registry = self._orchestrator.registry
+        live_admitted = (
+            slice_name in registry
+            and registry.record(slice_name).state is SliceState.ADMITTED
+        )
+        if not live_admitted and manager.pending_request(slice_name) is not None:
+            request = manager.withdraw(slice_name)
+            # The withdrawn submission's idempotency ticket is void: a retry
+            # under its token after this cancel must re-enqueue, not return a
+            # stale "accepted" receipt.
+            stale_token = self._token_by_queued_name.pop(slice_name, None)
+            if stale_token is not None:
+                self._tickets_by_token.pop(stale_token, None)
+            if slice_name not in registry:
+                # Never registered: remember the withdrawal so status() keeps
+                # answering "released" rather than "unknown slice".
+                self._withdrawn[slice_name] = (
+                    request.arrival_epoch,
+                    request.duration_epochs,
+                )
+                _evict_oldest(self._withdrawn, self._cache_limit)
+            self.events.publish(
+                [
+                    LifecycleEvent(
+                        kind=LifecycleEventKind.RELEASED,
+                        slice_name=slice_name,
+                        epoch=epoch,
+                        metadata={"stage": "queued"},
+                    )
+                ]
+            )
+            return SliceStatus(
+                name=slice_name,
+                state="released",
+                arrival_epoch=request.arrival_epoch,
+                duration_epochs=request.duration_epochs,
+            )
+        if slice_name not in registry:
+            raise LifecycleError(
+                f"unknown slice {slice_name!r}: never submitted to this broker",
+                details={"slice_name": slice_name},
+            )
+        try:
+            record = registry.release(slice_name)
+        except SliceStateError as error:
+            raise LifecycleError(str(error), details={"slice_name": slice_name}) from error
+        self._released[slice_name] = registry.renewal_count(slice_name)
+        _evict_oldest(self._released, self._cache_limit)
+        # The RELEASED event below is the authoritative announcement of this
+        # transition; fold it into the baseline so the next epoch's diff does
+        # not re-derive it as a spurious EXPIRED event.
+        self._event_baseline[slice_name] = (
+            record.state,
+            registry.renewal_count(slice_name),
+        )
+        self.events.publish(
+            [
+                LifecycleEvent(
+                    kind=LifecycleEventKind.RELEASED,
+                    slice_name=slice_name,
+                    epoch=epoch,
+                    metadata={
+                        "stage": "admitted",
+                        "admitted_epoch": record.admitted_epoch,
+                        "compute_unit": record.compute_unit,
+                    },
+                )
+            ]
+        )
+        # Describe the life that was just released (status() may already
+        # prefer a queued renewal waiting under the same name).
+        return SliceStatus(
+            name=slice_name,
+            state="released",
+            arrival_epoch=record.request.arrival_epoch,
+            duration_epochs=record.request.duration_epochs,
+            admitted_epoch=record.admitted_epoch,
+            expires_at=record.expires_at(),
+            compute_unit=record.compute_unit,
+            reservations_mbps=dict(record.last_reservations_mbps),
+            renewal_count=registry.renewal_count(slice_name),
+        )

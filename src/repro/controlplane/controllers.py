@@ -12,7 +12,7 @@ they expose the utilisation numbers the monitoring block collects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.problem import ACRRProblem
 from repro.core.solution import OrchestrationDecision

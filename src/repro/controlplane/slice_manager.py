@@ -24,7 +24,10 @@ class SliceDescriptor:
     sla_mbps: float
     latency_tolerance_ms: float
     duration_epochs: int
-    compute_model: dict[str, float]
+    #: Excluded from __hash__ (dicts are unhashable) so descriptors -- and
+    #: the admission tickets embedding them -- stay hashable; equality still
+    #: compares the full compute model.
+    compute_model: dict[str, float] = field(hash=False)
     reward: float
     penalty_factor: float
 
@@ -57,6 +60,27 @@ class SliceDescriptor:
             "penalty_factor": self.penalty_factor,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SliceDescriptor":
+        """Inverse of :meth:`as_dict` (``from_dict(as_dict(d)) == d``)."""
+        try:
+            return cls(
+                slice_name=str(payload["slice_name"]),
+                slice_type=str(payload["slice_type"]),
+                sla_mbps=float(payload["sla_mbps"]),
+                latency_tolerance_ms=float(payload["latency_tolerance_ms"]),
+                duration_epochs=int(payload["duration_epochs"]),
+                compute_model={
+                    str(k): float(v) for k, v in payload["compute_model"].items()
+                },
+                reward=float(payload["reward"]),
+                penalty_factor=float(payload["penalty_factor"]),
+            )
+        except KeyError as missing:
+            raise ValueError(
+                f"slice descriptor payload is missing field {missing.args[0]!r}"
+            ) from None
+
 
 @dataclass
 class SliceManager:
@@ -69,13 +93,16 @@ class SliceManager:
     under the same name may never sit in the intake queue at once.
     """
 
-    _pending: list[SliceRequest] = field(default_factory=list)
+    # Keyed by slice name (unique in the queue by contract), insertion
+    # ordered: name lookup and withdrawal are O(1) so broker intake of N
+    # requests stays O(N) under heavy multi-client traffic.
+    _pending: dict[str, SliceRequest] = field(default_factory=dict)
 
     def submit(self, request: SliceRequest) -> SliceDescriptor:
         """Accept a tenant's slice request into the intake queue."""
-        if any(pending.name == request.name for pending in self._pending):
+        if request.name in self._pending:
             raise ValueError(f"a slice named {request.name!r} was already submitted")
-        self._pending.append(request)
+        self._pending[request.name] = request
         return SliceDescriptor.from_request(request)
 
     def submit_many(self, requests: list[SliceRequest]) -> list[SliceDescriptor]:
@@ -83,7 +110,30 @@ class SliceManager:
 
     @property
     def pending_count(self) -> int:
+        """Number of requests still queued (a property: it is a pure getter)."""
         return len(self._pending)
+
+    @property
+    def pending_requests(self) -> tuple[SliceRequest, ...]:
+        """Snapshot of the queued requests, in submission order."""
+        return tuple(self._pending.values())
+
+    def pending_request(self, name: str) -> SliceRequest | None:
+        """The queued request named ``name``, or ``None`` if not queued."""
+        return self._pending.get(name)
+
+    def withdraw(self, name: str) -> SliceRequest:
+        """Remove a still-queued request from the intake queue.
+
+        Only requests that have not yet been released to the orchestrator can
+        be withdrawn; raises ``KeyError`` when ``name`` is not queued.  Used
+        by the northbound broker to cancel queued submissions and to roll
+        back partially-enqueued batches.
+        """
+        try:
+            return self._pending.pop(name)
+        except KeyError:
+            raise KeyError(f"no queued request named {name!r}") from None
 
     def collect_for_epoch(self, epoch: int) -> list[SliceRequest]:
         """Release the requests that the orchestrator should consider at ``epoch``.
@@ -92,8 +142,14 @@ class SliceManager:
         arriving later stay queued.  Released requests leave the queue -- the
         orchestrator owns them from then on.
         """
-        due = [request for request in self._pending if request.arrival_epoch <= epoch]
-        self._pending = [
-            request for request in self._pending if request.arrival_epoch > epoch
+        due = [
+            request
+            for request in self._pending.values()
+            if request.arrival_epoch <= epoch
         ]
+        self._pending = {
+            name: request
+            for name, request in self._pending.items()
+            if request.arrival_epoch > epoch
+        }
         return due

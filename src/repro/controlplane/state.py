@@ -144,6 +144,25 @@ class SliceRegistry:
         record.state = SliceState.REJECTED
         return record
 
+    def release(self, name: str) -> SliceRecord:
+        """Tenant-initiated early termination of an admitted slice.
+
+        The record moves straight to EXPIRED (the same terminal state a
+        natural expiry reaches, so renewals and re-submissions behave
+        identically afterwards); the reservations the controllers still hold
+        are reclaimed at the start of the next decision epoch, exactly as for
+        a natural expiry.  Releasing a slice that is not currently admitted is
+        a lifecycle error.
+        """
+        record = self._records[name]
+        if record.state is not SliceState.ADMITTED:
+            raise SliceStateError(
+                f"cannot release slice {name!r} from state {record.state.value}: "
+                "only admitted slices can be released"
+            )
+        record.state = SliceState.EXPIRED
+        return record
+
     def expire_due(self, epoch: int) -> list[SliceRecord]:
         """Expire every admitted slice whose lifetime ended before ``epoch``."""
         expired = []
@@ -165,6 +184,13 @@ class SliceRegistry:
             record.name
             for record in self._records.values()
             if record.state is SliceState.ADMITTED
+        ]
+
+    def rejected_names(self) -> list[str]:
+        return [
+            record.name
+            for record in self._records.values()
+            if record.state is SliceState.REJECTED
         ]
 
     def counts_by_state(self) -> dict[SliceState, int]:

@@ -84,7 +84,6 @@ class KACSolver:
         aggregated_weights = np.zeros(n)
         aggregated_capacity = 0.0
         epsilon = 1.0
-        have_constraints = False
         feasibility_cuts = 0
         iterations = 0
         selected = self._initial_selection(bundles, problem)
@@ -106,7 +105,6 @@ class KACSolver:
             epsilon = self._next_epsilon(epsilon, weights, capacity)
             aggregated_weights = aggregated_weights + epsilon * weights
             aggregated_capacity = aggregated_capacity + epsilon * capacity
-            have_constraints = True
             selected = self._knapsack_selection(
                 bundles, problem, aggregated_weights, aggregated_capacity
             )

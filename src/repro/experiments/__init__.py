@@ -22,6 +22,10 @@ specs, execute through pluggable (serial / process-pool) executors with
 per-run seeds, persist their records as JSON and resume from the cache.
 ``python -m repro.experiments`` (see :mod:`repro.experiments.cli`) lists,
 runs and reports the status of the registered campaigns.
+
+All simulation run kinds reach the control plane exclusively through the
+northbound :class:`~repro.api.broker.SliceBroker` facade (via the simulation
+engine); no experiment touches the orchestrator directly.
 """
 
 from repro.experiments.campaign import (

@@ -299,8 +299,8 @@ def _run_forecaster_ablation_spec(spec: RunSpec) -> dict:
     )
     policy = params.get("policy", "optimal")
     engine = SimulationEngine(scenario, make_solver(policy), policy_name=policy)
-    engine.orchestrator.forecasting = ForecastingBlock(
-        primary=_FORECASTER_FACTORIES[name](epochs_per_day)
+    engine.broker.set_forecasting(
+        ForecastingBlock(primary=_FORECASTER_FACTORIES[name](epochs_per_day))
     )
     return simulation_record(engine.run())
 

@@ -9,6 +9,10 @@ spec's scenario identity (family + scenario index, policy excluded), so:
 * every scenario index samples an independent scenario, and
 * all policies of one index replay the *same* sampled scenario and demand
   traces -- the comparisons stay paired, exactly like the figure campaigns.
+
+Like every other campaign kind, the generated runs drive the control plane
+through the northbound :class:`~repro.api.broker.SliceBroker` facade (the
+simulation engine is a broker driver).
 """
 
 from __future__ import annotations

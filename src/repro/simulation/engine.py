@@ -2,12 +2,17 @@
 
 The engine wires the pieces of the reproduction together exactly as the
 paper's architecture prescribes (Fig. 2): tenants' requests flow through the
-slice manager into the E2E orchestrator; every decision epoch the
-orchestrator runs admission control & resource reservation and pushes the
-result to the domain controllers; the tenants' traffic is then pushed through
-the per-slice rate-control middleboxes; monitoring samples flow back into the
-orchestrator's time-series store and drive the next epoch's forecasts.  The
-revenue accountant keeps the score.
+northbound :class:`~repro.api.broker.SliceBroker` into the control plane;
+every decision epoch the broker drives admission control & resource
+reservation and pushes the result to the domain controllers; the tenants'
+traffic is then pushed through the per-slice rate-control middleboxes;
+monitoring samples flow back through the broker into the time-series store
+and drive the next epoch's forecasts.  The revenue accountant keeps the
+score.
+
+The engine is one *driver* of the broker among several (examples, future
+trace replayers / RL environments): every control-plane mutation here goes
+through the facade, never the orchestrator directly.
 """
 
 from __future__ import annotations
@@ -16,9 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig
+from repro.api.broker import SliceBroker
+from repro.controlplane.orchestrator import OrchestratorConfig
 from repro.core.forecast_inputs import ForecastInput
-from repro.core.solution import OrchestrationDecision
 from repro.dataplane.middlebox import RateControlMiddlebox
 from repro.dataplane.multiplexing import SliceMultiplexer
 from repro.dataplane.usage import DomainUsage, UsageAccountant
@@ -106,13 +111,15 @@ class SimulationEngine:
             samples_per_epoch=scenario.samples_per_epoch,
             candidate_paths_per_pair=scenario.candidate_paths_per_pair,
         )
-        self.orchestrator = E2EOrchestrator(
+        self.broker = SliceBroker(
             topology=scenario.topology, solver=solver, config=config
         )
-        for workload in scenario.workloads:
-            self.orchestrator.submit_request(workload.request)
+        #: The wrapped orchestrator, kept for benchmarks/tests that tweak its
+        #: configuration in place; the engine itself only drives the broker.
+        self.orchestrator = self.broker.orchestrator
+        self.broker.submit_batch([workload.request for workload in scenario.workloads])
         if scenario.forecast_mode == "oracle":
-            self.orchestrator.forecast_overrides = self._oracle_forecasts()
+            self.broker.set_forecast_overrides(self._oracle_forecasts())
         self._demand_models: dict[tuple[str, str], DemandModel] = {}
         self._middleboxes: dict[tuple[str, str], RateControlMiddlebox] = {}
         self.accountant = RevenueAccountant(
@@ -198,15 +205,8 @@ class SimulationEngine:
             ):
                 break
 
-        registry = self.orchestrator.registry
-        admitted = tuple(sorted(registry.admitted_names()))
-        rejected = tuple(
-            sorted(
-                record.name
-                for record in registry.all_records()
-                if record.state.value == "rejected"
-            )
-        )
+        admitted = tuple(sorted(self.broker.admitted_names()))
+        rejected = tuple(sorted(self.broker.rejected_names()))
         return SimulationResult(
             scenario_name=self.scenario.name,
             policy=self.policy_name,
@@ -218,9 +218,10 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------ #
     def _run_one_epoch(self, epoch: int) -> EpochRecord:
-        decision = self.orchestrator.run_epoch(epoch)
-        active_records = self.orchestrator.registry.active_slices(epoch)
-        active_names = tuple(sorted(record.name for record in active_records))
+        report = self.broker.advance_epoch(epoch)
+        decision = self.broker.last_decision
+        active_records = self.broker.active_slices(epoch)
+        active_names = report.active
 
         offered: dict[tuple[str, str], np.ndarray] = {}
         served_mean: dict[tuple[str, str], float] = {}
@@ -241,7 +242,7 @@ class SimulationEngine:
                     dtype=float,
                 )
                 offered[(record.name, bs)] = samples
-                self.orchestrator.observe_load(record.name, bs, epoch, samples)
+                self.broker.report_load(record.name, bs, epoch, samples)
 
         # Work-conserving data plane: traffic above a slice's reservation is
         # only lost when a resource it traverses actually saturates.
@@ -262,22 +263,22 @@ class SimulationEngine:
         radio_usage: dict[str, DomainUsage] = {}
         transport_usage: dict[tuple[str, str], DomainUsage] = {}
         compute_usage: dict[str, DomainUsage] = {}
-        if self.scenario.record_usage and self.orchestrator.last_problem is not None:
-            accountant = UsageAccountant(self.orchestrator.last_problem, decision)
+        if self.scenario.record_usage and self.broker.last_problem is not None:
+            accountant = UsageAccountant(self.broker.last_problem, decision)
             radio_usage = accountant.radio_usage(served_mean)
             transport_usage = accountant.transport_usage(served_mean)
             compute_usage = accountant.compute_usage(served_mean)
 
         return EpochRecord(
             epoch=epoch,
-            accepted_slices=tuple(sorted(decision.accepted_tenants)),
+            accepted_slices=report.accepted,
             active_slices=active_names,
             net_revenue=revenue.net,
             reward=revenue.reward,
             penalty=revenue.penalty,
-            solver_runtime_s=decision.stats.runtime_s,
-            solver_iterations=decision.stats.iterations,
-            solver_warm_cuts=decision.stats.cuts_warm,
+            solver_runtime_s=report.solver_runtime_s,
+            solver_iterations=report.solver_iterations,
+            solver_warm_cuts=report.solver_warm_cuts,
             radio_usage=radio_usage,
             transport_usage=transport_usage,
             compute_usage=compute_usage,

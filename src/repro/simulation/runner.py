@@ -1,4 +1,10 @@
-"""Convenience helpers for running scenarios and comparing policies."""
+"""Convenience helpers for running scenarios and comparing policies.
+
+Every run here drives the control plane through the northbound
+:class:`~repro.api.broker.SliceBroker` facade (via
+:class:`~repro.simulation.engine.SimulationEngine`): the policies differ only
+in the solver plugged into the broker's orchestrator.
+"""
 
 from __future__ import annotations
 

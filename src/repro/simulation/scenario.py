@@ -15,7 +15,7 @@ evaluation set-ups:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.slices import (
     EMBB_TEMPLATE,

@@ -23,7 +23,7 @@ transport-constrained vs. compute-constrained regimes).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

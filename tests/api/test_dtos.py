@@ -1,0 +1,302 @@
+"""DTO round-trip contract: ``from_dict(to_dict(x)) == x`` for every DTO,
+including through a real JSON encode/decode, with the wire format carrying an
+explicit schema version."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.dtos import (
+    AdmissionTicket,
+    EpochReport,
+    QuoteResponse,
+    SliceRequestV1,
+    SliceStatus,
+)
+from repro.api.errors import ValidationError
+from repro.api.events import LifecycleEvent, LifecycleEventKind
+from repro.api.wire import VERSION_KEY, WIRE_VERSION
+from repro.controlplane.slice_manager import SliceDescriptor
+from repro.core.slices import TEMPLATES, SliceRequest, SliceTemplate
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-0123456789", min_size=1, max_size=12
+)
+positive_floats = st.floats(
+    min_value=0.01, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+non_negative_floats = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+templates = st.one_of(
+    st.sampled_from(sorted(TEMPLATES)).map(TEMPLATES.__getitem__),
+    st.builds(
+        SliceTemplate,
+        name=names,
+        reward=positive_floats,
+        latency_tolerance_ms=positive_floats,
+        sla_mbps=positive_floats,
+        compute_baseline_cpus=non_negative_floats,
+        compute_cpus_per_mbps=non_negative_floats,
+        default_relative_std=st.floats(
+            min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+        ),
+    ),
+)
+
+requests_v1 = st.builds(
+    SliceRequestV1,
+    name=names,
+    template=templates,
+    duration_epochs=st.integers(min_value=1, max_value=200),
+    penalty_factor=non_negative_floats,
+    arrival_epoch=st.integers(min_value=0, max_value=500),
+)
+
+descriptors = st.builds(
+    SliceDescriptor,
+    slice_name=names,
+    slice_type=names,
+    sla_mbps=positive_floats,
+    latency_tolerance_ms=positive_floats,
+    duration_epochs=st.integers(min_value=1, max_value=200),
+    compute_model=st.fixed_dictionaries(
+        {"baseline_cpus": non_negative_floats, "cpus_per_mbps": non_negative_floats}
+    ),
+    reward=positive_floats,
+    penalty_factor=non_negative_floats,
+)
+
+tickets = st.builds(
+    AdmissionTicket,
+    ticket_id=names,
+    slice_name=names,
+    arrival_epoch=st.integers(min_value=0, max_value=500),
+    descriptor=descriptors,
+    client_token=st.one_of(st.none(), names),
+)
+
+statuses = st.builds(
+    SliceStatus,
+    name=names,
+    state=st.sampled_from(
+        ("queued", "requested", "admitted", "rejected", "expired", "released")
+    ),
+    arrival_epoch=st.integers(min_value=0, max_value=500),
+    duration_epochs=st.integers(min_value=1, max_value=200),
+    admitted_epoch=st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+    expires_at=st.one_of(st.none(), st.integers(min_value=0, max_value=1000)),
+    compute_unit=st.one_of(st.none(), names),
+    reservations_mbps=st.dictionaries(names, non_negative_floats, max_size=4),
+    renewal_count=st.integers(min_value=0, max_value=5),
+)
+
+quotes = st.builds(
+    QuoteResponse,
+    slice_name=names,
+    slice_type=names,
+    sla_mbps=positive_floats,
+    forecast_peak_mbps=non_negative_floats,
+    forecast_sigma=st.floats(
+        min_value=0.001, max_value=1.0, allow_nan=False, allow_infinity=False
+    ),
+    reward_per_epoch=positive_floats,
+    penalty_rate_per_mbps=non_negative_floats,
+)
+
+events = st.builds(
+    LifecycleEvent,
+    kind=st.sampled_from(list(LifecycleEventKind)),
+    slice_name=names,
+    epoch=st.integers(min_value=0, max_value=500),
+    metadata=st.dictionaries(
+        names,
+        st.one_of(st.none(), st.integers(-100, 100), non_negative_floats, names),
+        max_size=3,
+    ),
+)
+
+name_tuples = st.lists(names, max_size=4, unique=True).map(tuple)
+
+reports = st.builds(
+    EpochReport,
+    epoch=st.integers(min_value=0, max_value=500),
+    idle=st.booleans(),
+    objective_value=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    accepted=name_tuples,
+    rejected=name_tuples,
+    expired=name_tuples,
+    renewed=name_tuples,
+    active=name_tuples,
+    pending_requests=st.integers(min_value=0, max_value=50),
+    solver=names,
+    solver_iterations=st.integers(min_value=0, max_value=1000),
+    solver_runtime_s=non_negative_floats,
+    solver_optimal=st.booleans(),
+    solver_warm_cuts=st.integers(min_value=0, max_value=1000),
+    solver_message=st.text(max_size=40),
+    events=st.lists(events, max_size=3).map(tuple),
+)
+
+ALL_DTOS = [
+    ("SliceRequestV1", requests_v1, SliceRequestV1),
+    ("AdmissionTicket", tickets, AdmissionTicket),
+    ("SliceStatus", statuses, SliceStatus),
+    ("QuoteResponse", quotes, QuoteResponse),
+    ("LifecycleEvent", events, LifecycleEvent),
+    ("EpochReport", reports, EpochReport),
+]
+
+
+# --------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name,strategy,cls", ALL_DTOS, ids=lambda p: str(p)[:20])
+def test_round_trip_through_json(name, strategy, cls):
+    @settings(max_examples=60, deadline=None)
+    @given(strategy)
+    def check(dto):
+        payload = dto.to_dict()
+        assert payload[VERSION_KEY] == WIRE_VERSION
+        rebuilt = cls.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt == dto
+
+    check()
+
+
+SAMPLE_DTOS = [
+    SliceRequestV1.of("s1", "eMBB", duration_epochs=3),
+    AdmissionTicket(
+        ticket_id="tkt-000001",
+        slice_name="s1",
+        arrival_epoch=0,
+        descriptor=SliceDescriptor.from_request(
+            SliceRequest(name="s1", template=TEMPLATES["eMBB"])
+        ),
+    ),
+    SliceStatus(name="s1", state="admitted", arrival_epoch=0, duration_epochs=3),
+    QuoteResponse(
+        slice_name="s1",
+        slice_type="eMBB",
+        sla_mbps=50.0,
+        forecast_peak_mbps=20.0,
+        forecast_sigma=0.3,
+        reward_per_epoch=1.0,
+        penalty_rate_per_mbps=0.02,
+    ),
+    LifecycleEvent(LifecycleEventKind.ADMITTED, "s1", epoch=0),
+    EpochReport(epoch=0, idle=False, objective_value=-1.5, accepted=("s1",)),
+]
+
+
+@pytest.mark.parametrize("dto", SAMPLE_DTOS, ids=lambda d: type(d).__name__)
+def test_dtos_are_hashable_values(dto):
+    # Dict-valued fields are excluded from __hash__, so clients can put any
+    # DTO in a set (e.g. a subscriber deduplicating its event stream).
+    assert len({dto, dto}) == 1
+
+
+@pytest.mark.parametrize("dto", SAMPLE_DTOS, ids=lambda d: type(d).__name__)
+def test_version_mismatch_is_rejected(dto):
+    cls = type(dto)
+    payload = dto.to_dict()
+    payload[VERSION_KEY] = WIRE_VERSION + 1
+    with pytest.raises(ValidationError):
+        cls.from_dict(payload)
+    del payload[VERSION_KEY]
+    with pytest.raises(ValidationError):
+        cls.from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# Conversions and validation details
+# --------------------------------------------------------------------- #
+class TestSliceRequestV1:
+    def test_catalogue_constructor_and_core_round_trip(self):
+        dto = SliceRequestV1.of("s1", "uRLLC", duration_epochs=5, arrival_epoch=2)
+        request = dto.to_request()
+        assert isinstance(request, SliceRequest)
+        assert request.template is TEMPLATES["uRLLC"]
+        assert SliceRequestV1.from_request(request) == dto
+
+    def test_unknown_catalogue_type(self):
+        with pytest.raises(ValidationError) as excinfo:
+            SliceRequestV1.of("s1", "holographic")
+        assert excinfo.value.code == "validation"
+        assert "holographic" in str(excinfo.value)
+
+    def test_domain_violations_become_validation_errors(self):
+        payload = SliceRequestV1.of("s1", "eMBB").to_dict()
+        payload["duration_epochs"] = 0
+        with pytest.raises(ValidationError):
+            SliceRequestV1.from_dict(payload)
+        payload = SliceRequestV1.of("s1", "eMBB").to_dict()
+        payload["template"]["sla_mbps"] = -3.0
+        with pytest.raises(ValidationError):
+            SliceRequestV1.from_dict(payload)
+
+    def test_non_mapping_payload_is_rejected(self):
+        with pytest.raises(ValidationError):
+            SliceRequestV1.from_dict("not a mapping")
+
+
+class TestMalformedPayloadsStayStructured:
+    """Wrong-shaped field values must raise ValidationError, never leak the
+    underlying TypeError/ValueError/AttributeError to a transport shim."""
+
+    def test_lifecycle_event_bad_epoch(self):
+        payload = LifecycleEvent(LifecycleEventKind.ADMITTED, "a", 0).to_dict()
+        payload["epoch"] = "not-an-int"
+        with pytest.raises(ValidationError):
+            LifecycleEvent.from_dict(payload)
+
+    def test_slice_status_scalar_reservations(self):
+        payload = SliceStatus(
+            name="a", state="admitted", arrival_epoch=0, duration_epochs=1
+        ).to_dict()
+        payload["reservations_mbps"] = 5
+        with pytest.raises(ValidationError):
+            SliceStatus.from_dict(payload)
+
+    def test_epoch_report_string_name_list_is_rejected(self):
+        payload = EpochReport(epoch=0, idle=True, objective_value=0.0).to_dict()
+        payload["accepted"] = "ab"  # would silently explode into ('a', 'b')
+        with pytest.raises(ValidationError):
+            EpochReport.from_dict(payload)
+
+    def test_epoch_report_scalar_events(self):
+        payload = EpochReport(epoch=0, idle=True, objective_value=0.0).to_dict()
+        payload["events"] = 5
+        with pytest.raises(ValidationError):
+            EpochReport.from_dict(payload)
+
+    def test_epoch_report_malformed_nested_event(self):
+        payload = EpochReport(epoch=0, idle=True, objective_value=0.0).to_dict()
+        payload["events"] = [{"schema_version": 1, "kind": "admitted", "slice_name": "a", "epoch": "x"}]
+        with pytest.raises(ValidationError):
+            EpochReport.from_dict(payload)
+
+
+class TestSliceDescriptorRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(descriptors)
+    def test_from_dict_inverts_as_dict(self, descriptor):
+        assert SliceDescriptor.from_dict(descriptor.as_dict()) == descriptor
+
+    def test_missing_field_is_a_value_error(self):
+        payload = SliceDescriptor.from_request(
+            SliceRequest(name="s", template=TEMPLATES["eMBB"])
+        ).as_dict()
+        del payload["sla_mbps"]
+        with pytest.raises(ValueError, match="sla_mbps"):
+            SliceDescriptor.from_dict(payload)

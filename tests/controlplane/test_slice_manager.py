@@ -26,6 +26,16 @@ class TestDescriptor:
         assert data["slice_name"] == "a"
         assert data["compute_model"]["baseline_cpus"] == 0.0
 
+    def test_from_dict_inverts_as_dict(self):
+        descriptor = SliceDescriptor.from_request(request("a"))
+        assert SliceDescriptor.from_dict(descriptor.as_dict()) == descriptor
+
+    def test_from_dict_missing_field(self):
+        payload = SliceDescriptor.from_request(request("a")).as_dict()
+        del payload["duration_epochs"]
+        with pytest.raises(ValueError, match="duration_epochs"):
+            SliceDescriptor.from_dict(payload)
+
 
 class TestQueue:
     def test_submit_and_collect(self):
@@ -50,4 +60,31 @@ class TestQueue:
         manager = SliceManager()
         descriptors = manager.submit_many([request("a"), request("b")])
         assert len(descriptors) == 2
+        assert manager.pending_count == 2
+
+    def test_pending_count_is_a_property(self):
+        # Regression guard: pending_count is a stateless getter exposed as a
+        # property, not a method.
+        assert isinstance(SliceManager.pending_count, property)
+        assert SliceManager().pending_count == 0
+
+    def test_pending_requests_snapshot(self):
+        manager = SliceManager()
+        manager.submit(request("a"))
+        manager.submit(request("b", arrival=3))
+        assert [r.name for r in manager.pending_requests] == ["a", "b"]
+        assert manager.pending_request("b").arrival_epoch == 3
+        assert manager.pending_request("ghost") is None
+
+    def test_withdraw(self):
+        manager = SliceManager()
+        manager.submit(request("a"))
+        manager.submit(request("b"))
+        withdrawn = manager.withdraw("a")
+        assert withdrawn.name == "a"
+        assert manager.pending_count == 1
+        with pytest.raises(KeyError):
+            manager.withdraw("a")
+        # A withdrawn name may be re-submitted.
+        manager.submit(request("a"))
         assert manager.pending_count == 2

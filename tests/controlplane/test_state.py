@@ -87,3 +87,30 @@ class TestQueries:
         assert counts[SliceState.ADMITTED] == 2
         assert counts[SliceState.REJECTED] == 1
         assert registry.admitted_names() == ["a", "b"]
+
+
+class TestRelease:
+    def test_release_of_admitted_slice_reaches_terminal_state(self):
+        registry = SliceRegistry()
+        registry.register(request(name="s", duration=10))
+        registry.mark_admitted("s", epoch=0, compute_unit="edge-cu", reservations_mbps={})
+        record = registry.release("s")
+        assert record.state is SliceState.EXPIRED
+        assert registry.active_slices(1) == []
+        # The terminal record can be renewed like a natural expiry.
+        renewed = registry.renew(request(name="s", arrival=2))
+        assert renewed.state is SliceState.REQUESTED
+        assert registry.renewal_count("s") == 1
+
+    def test_release_requires_admitted(self):
+        registry = SliceRegistry()
+        registry.register(request(name="s"))
+        with pytest.raises(SliceStateError, match="release"):
+            registry.release("s")
+        registry.mark_rejected("s")
+        with pytest.raises(SliceStateError, match="release"):
+            registry.release("s")
+
+    def test_release_of_unknown_name_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            SliceRegistry().release("ghost")

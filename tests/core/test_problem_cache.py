@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.forecast_inputs import ForecastInput
 from repro.core.problem import ACRRProblem, ProblemOptions, ProblemStructureCache
 from repro.core.slices import EMBB_TEMPLATE, URLLC_TEMPLATE, make_requests
 from repro.topology.paths import compute_path_sets

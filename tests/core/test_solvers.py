@@ -10,7 +10,6 @@ The central correctness claims are:
   fewer tenants when the system is loaded.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.baseline import NoOverbookingSolver
@@ -20,8 +19,7 @@ from repro.core.kac import KACSolver
 from repro.core.milp_solver import DirectMILPSolver
 from repro.core.problem import ACRRProblem, ProblemOptions
 from repro.core.slices import EMBB_TEMPLATE, MMTC_TEMPLATE, URLLC_TEMPLATE, make_requests
-from tests.conftest import build_tiny_topology, low_load_forecasts
-from repro.topology.paths import compute_path_sets
+from tests.conftest import low_load_forecasts
 
 
 def assert_decision_feasible(problem, decision):

@@ -17,7 +17,6 @@ def accepted_allocation(mixed_problem):
 
 class TestBuildNetworkService:
     def test_rejected_slice_raises(self, mixed_problem):
-        decision = DirectMILPSolver().solve(mixed_problem)
         from repro.core.solution import TenantAllocation
 
         rejected = TenantAllocation(

@@ -52,6 +52,14 @@ def test_forecasting_and_orchestration_tiny(capsys):
     assert "epoch 0" in out
 
 
+def test_slice_broker_tour_tiny(capsys):
+    load_example("slice_broker_tour").main(num_epochs=4)
+    out = capsys.readouterr().out
+    assert "schema_version=1" in out
+    assert "DuplicateSliceError" in out
+    assert "released" in out
+
+
 def test_dynamic_testbed_day_tiny(capsys):
     load_example("dynamic_testbed_day").main(num_epochs=4, seed=3)
     out = capsys.readouterr().out

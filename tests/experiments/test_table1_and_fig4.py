@@ -1,7 +1,5 @@
 """Tests for the Table 1 and Fig. 4 reproductions."""
 
-import pytest
-
 from repro.experiments.fig4_topologies import path_statistics, run_fig4
 from repro.experiments.table1_templates import format_table1, table1_rows
 from repro.topology.operators import romanian_topology

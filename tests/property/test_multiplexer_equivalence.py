@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.slices import EMBB_TEMPLATE, SliceRequest, SliceTemplate, make_requests
+from repro.core.slices import EMBB_TEMPLATE, SliceRequest, SliceTemplate
 from repro.core.solution import TenantAllocation
 from repro.dataplane.multiplexing import _EPSILON, ResourceLoadResult, SliceMultiplexer
 from repro.topology.paths import compute_path_sets

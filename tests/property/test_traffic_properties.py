@@ -130,7 +130,9 @@ class TestCalibration:
     @given(seed=st.integers(0, 2**20))
     @settings(max_examples=10, deadline=None)
     def test_fixed_seed_reproduces_the_trace(self, seed):
-        make = lambda: GaussianDemand(mean_mbps=50.0, std_mbps=5.0, sla_mbps=_SLA, seed=seed)
+        def make():
+            return GaussianDemand(mean_mbps=50.0, std_mbps=5.0, sla_mbps=_SLA, seed=seed)
+
         np.testing.assert_array_equal(
             make().peak_series(20, 8), make().peak_series(20, 8)
         )

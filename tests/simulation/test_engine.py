@@ -1,9 +1,8 @@
 """Tests for the simulation engine and policy runner."""
 
-import numpy as np
 import pytest
 
-from repro.core.slices import EMBB_TEMPLATE, URLLC_TEMPLATE
+from repro.core.slices import EMBB_TEMPLATE
 from repro.simulation.runner import compare_policies, make_solver, relative_revenue_gain, run_scenario
 from repro.simulation.scenario import homogeneous_scenario, testbed_scenario as make_testbed_scenario
 from repro.simulation.engine import SimulationEngine
