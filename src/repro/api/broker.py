@@ -60,6 +60,9 @@ from repro.controlplane.state import (
 )
 from repro.core.forecast_inputs import ForecastInput
 from repro.core.slices import SliceRequest
+from repro.faults.injector import ChaosSolver, FaultInjector, attach_injector
+from repro.faults.plan import FaultPlan
+from repro.faults.safeguard import TIER_PRIMARY, HealthMonitor, SafeguardedSolver
 
 
 def _coerce_request(
@@ -186,6 +189,18 @@ class SliceBroker:
             record.name: (record.state, registry.renewal_count(record.name))
             for record in registry.all_records()
         }
+        #: Broker health state machine.  Shared with the orchestrator's
+        #: solver when that is a :class:`SafeguardedSolver` (its chain gates
+        #: safe-mode probes on the same monitor); otherwise broker-owned.
+        solver_health = getattr(self._orchestrator.solver, "health", None)
+        self.health: HealthMonitor = (
+            solver_health
+            if isinstance(solver_health, HealthMonitor)
+            else HealthMonitor()
+        )
+        self._fault_injector: FaultInjector | None = getattr(
+            self._orchestrator, "fault_injector", None
+        )
 
     # ------------------------------------------------------------------ #
     # In-process accessors (documented escape hatches; all read-only)
@@ -312,6 +327,7 @@ class SliceBroker:
         tickets: list[AdmissionTicket] = []
         enqueued: list[tuple[str, str | None]] = []
         withdrawn_markers: dict[str, tuple[int, int]] = {}
+        completed = False
         try:
             for request, token in zip(requests, tokens):
                 # Snapshot only this request's released-withdrawal marker
@@ -325,24 +341,28 @@ class SliceBroker:
                 if not was_replay:
                     enqueued.append((ticket.slice_name, token))
                 tickets.append(ticket)
-        except Exception:
-            # Roll back on *any* failure, not just structured broker errors:
-            # an unexpected exception mid-batch must still leave the queue
-            # exactly as it was.
+            completed = True
+        finally:
+            # Atomicity lives in a success-flag ``finally``, not an except
+            # clause: nothing is caught (structured broker errors and
+            # unexpected bugs alike propagate unchanged, per the error
+            # taxonomy), yet the queue is restored on *every* abnormal exit,
+            # including BaseExceptions a bare ``except Exception`` would
+            # have missed.
             # Every entry in `enqueued` was a fresh (non-replay) submission,
             # so any token it carries was inserted by this batch and is
             # popped outright -- no pre-batch token snapshot needed.
-            for name, token in reversed(enqueued):
-                self._orchestrator.slice_manager.withdraw(name)
-                self._token_by_queued_name.pop(name, None)
-                if token is not None:
-                    self._tickets_by_token.pop(token, None)
-                if name in withdrawn_markers:
-                    # _enqueue popped the released-withdrawal marker; the
-                    # rollback must restore it so status() keeps answering
-                    # "released" exactly as before the failed batch.
-                    self._withdrawn[name] = withdrawn_markers[name]
-            raise
+            if not completed:
+                for name, token in reversed(enqueued):
+                    self._orchestrator.slice_manager.withdraw(name)
+                    self._token_by_queued_name.pop(name, None)
+                    if token is not None:
+                        self._tickets_by_token.pop(token, None)
+                    if name in withdrawn_markers:
+                        # _enqueue popped the released-withdrawal marker; the
+                        # rollback must restore it so status() keeps
+                        # answering "released" exactly as before the batch.
+                        self._withdrawn[name] = withdrawn_markers[name]
         return tickets
 
     def _enqueue(self, request: SliceRequest, client_token: str | None) -> AdmissionTicket:
@@ -389,6 +409,64 @@ class SliceBroker:
             descriptor=SliceDescriptor.from_request(request),
             client_token=client_token,
         )
+
+    # ------------------------------------------------------------------ #
+    # Chaos and degraded operation
+    # ------------------------------------------------------------------ #
+    def enable_chaos(
+        self,
+        plan: FaultPlan,
+        *,
+        max_retries: int = 2,
+        recovery_epochs: int = 3,
+        probe_interval: int = 4,
+    ) -> FaultInjector:
+        """Arm a fault plan and wrap the solver in the safeguarded chain.
+
+        Builds ``SafeguardedSolver(ChaosSolver(current solver, injector))``
+        around the orchestrator's solver (unless it already is a
+        :class:`SafeguardedSolver`, in which case only its primary is
+        proxied), binds the injector to every hook point, and ties the
+        broker's health machine to the chain.  With ``FaultPlan.empty()``
+        the instrumented run is byte-identical to an uninstrumented one.
+        """
+        injector = FaultInjector(plan)
+        attach_injector(self._orchestrator, injector)
+        solver = self._orchestrator.solver
+        if isinstance(solver, SafeguardedSolver):
+            solver.primary = ChaosSolver(solver.primary, injector)
+            chain = solver
+        else:
+            chain = SafeguardedSolver(
+                ChaosSolver(solver, injector),
+                max_retries=max_retries,
+                health=HealthMonitor(
+                    recovery_epochs=recovery_epochs, probe_interval=probe_interval
+                ),
+            )
+            self._orchestrator.solver = chain
+        self.health = chain.health
+        self._fault_injector = injector
+        return injector
+
+    def inject_link_failure(
+        self, link_keys: Sequence[tuple[str, str]], capacity_factor: float
+    ) -> None:
+        """Schedule a mid-epoch link-capacity loss for the next epoch.
+
+        The named links lose ``1 - capacity_factor`` of their capacity when
+        the next ``advance_epoch`` starts; displaced slices are re-homed
+        through the renewal path and reported in ``EpochReport.rehomed``.
+        """
+        try:
+            self._orchestrator.schedule_link_failure(
+                [tuple(key) for key in link_keys], capacity_factor
+            )
+        except (KeyError, ValueError) as error:
+            raise ValidationError(
+                f"invalid link failure: {error}",
+                details={"links": [list(key) for key in link_keys]},
+            ) from error
 
     # ------------------------------------------------------------------ #
     # Quotes
@@ -461,11 +539,16 @@ class SliceBroker:
         try:
             decision = self._orchestrator.run_epoch(epoch)
         except SliceStateError as error:
+            self.health.note_failed_epoch()
             raise LifecycleError(str(error)) from error
         except (ValueError, RuntimeError) as error:
             # advance_epoch carries no tenant payload, so an internal
             # ValueError is a control-plane fault, not a client validation
-            # failure -- both map to the solver-side error code.
+            # failure -- both map to the solver-side error code.  run_epoch
+            # already rolled the control plane back to its pre-epoch state
+            # (crash-consistent epochs); only the health machine remembers
+            # that the epoch failed.
+            self.health.note_failed_epoch()
             raise SolverError(str(error)) from error
         self._last_decision = decision
         # Collected submissions left the intake queue; stop tracking their
@@ -491,6 +574,48 @@ class SliceBroker:
         # Registry + controllers are consistent here; only now fan out.
         self.events.publish(events)
         stats = decision.stats
+        tier = getattr(stats, "tier", TIER_PRIMARY)
+        retries = getattr(stats, "retries", 0)
+        fallback_reason = getattr(stats, "fallback_reason", "")
+        rehomed = tuple(getattr(self._orchestrator, "last_rehomed", ()))
+        reasons: list[str] = []
+        if tier != TIER_PRIMARY:
+            reasons.append(
+                f"solver tier {tier}: {fallback_reason}"
+                if fallback_reason
+                else f"solver tier {tier}"
+            )
+        elif retries:
+            reasons.append(f"primary solver needed {retries} transient retries")
+        if self._fault_injector is not None:
+            # Only the committing attempt's faults: a rolled-back attempt of
+            # this epoch already surfaced as a raised BrokerError, and its
+            # faults must not taint the clean retry's report.
+            reasons.extend(
+                f"{fault.kind.value} fault fired at {fault.hook}"
+                for fault in self._fault_injector.fired_in_attempt()
+            )
+        if rehomed:
+            reasons.append(
+                f"re-homed {len(rehomed)} slice(s) displaced by link failure"
+            )
+        degraded = bool(reasons)
+        idle = stats.solver == "idle"
+        reused = stats.message == "reused unchanged decision from previous epoch"
+        # Health bookkeeping: when the orchestrator's solver is the
+        # safeguarded chain sharing this monitor, a real (non-reused) solve
+        # already noted its tier outcome -- the broker only adds what the
+        # chain cannot see (faults outside the solver, re-homing).  Idle
+        # epochs never move the health state.
+        if not idle:
+            chain_noted = (
+                getattr(self._orchestrator.solver, "health", None) is self.health
+                and not reused
+            )
+            if not chain_noted:
+                self.health.note_outcome(tier, degraded)
+            elif degraded and tier == TIER_PRIMARY and not retries:
+                self.health.note_outcome(tier, True)
         return EpochReport(
             epoch=epoch,
             idle=stats.solver == "idle",
@@ -512,6 +637,12 @@ class SliceBroker:
             solver_warm_cuts=stats.cuts_warm,
             solver_message=stats.message,
             events=tuple(events),
+            degraded=degraded,
+            solver_tier=tier,
+            solver_retries=retries,
+            health=self.health.state.value,
+            degraded_reasons=tuple(reasons),
+            rehomed=rehomed,
         )
 
     def _derive_events(

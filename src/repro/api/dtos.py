@@ -374,6 +374,17 @@ class EpochReport:
     ``expired``/``renewed`` list the lifecycle transitions the epoch caused;
     ``events`` carries the full ordered event stream the broker published for
     the epoch.
+
+    Degradation fields (see DESIGN.md, "Fault model & degraded modes"):
+    ``degraded`` is True when any fault fired during the epoch or the
+    decision came from a fallback tier; ``solver_tier`` names the
+    safeguard-chain tier that produced the decision ("primary",
+    "warm_replay", "no_overbooking", "reject_all"); ``solver_retries``
+    counts transient-failure retries spent; ``health`` is the broker health
+    state after the epoch ("healthy", "degraded", "safe_mode");
+    ``degraded_reasons`` lists the faults/fallbacks behind the flag;
+    ``rehomed`` names the slices a mid-epoch link failure displaced into the
+    renewal path this epoch.
     """
 
     epoch: int
@@ -392,6 +403,12 @@ class EpochReport:
     solver_warm_cuts: int = 0
     solver_message: str = ""
     events: tuple[LifecycleEvent, ...] = ()
+    degraded: bool = False
+    solver_tier: str = "primary"
+    solver_retries: int = 0
+    health: str = "healthy"
+    degraded_reasons: tuple[str, ...] = ()
+    rehomed: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return stamp(
@@ -412,6 +429,12 @@ class EpochReport:
                 "solver_warm_cuts": self.solver_warm_cuts,
                 "solver_message": self.solver_message,
                 "events": [event.to_dict() for event in self.events],
+                "degraded": self.degraded,
+                "solver_tier": self.solver_tier,
+                "solver_retries": self.solver_retries,
+                "health": self.health,
+                "degraded_reasons": list(self.degraded_reasons),
+                "rehomed": list(self.rehomed),
             }
         )
 
@@ -454,6 +477,12 @@ class EpochReport:
                 solver_warm_cuts=int(payload.get("solver_warm_cuts", 0)),
                 solver_message=str(payload.get("solver_message", "")),
                 events=events,
+                degraded=bool(payload.get("degraded", False)),
+                solver_tier=str(payload.get("solver_tier", "primary")),
+                solver_retries=int(payload.get("solver_retries", 0)),
+                health=str(payload.get("health", "healthy")),
+                degraded_reasons=names("degraded_reasons"),
+                rehomed=names("rehomed"),
             ),
             "EpochReport",
         )

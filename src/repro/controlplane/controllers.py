@@ -13,6 +13,7 @@ they expose the utilisation numbers the monitoring block collects.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.problem import ACRRProblem
 from repro.core.solution import OrchestrationDecision
@@ -71,6 +72,15 @@ class RanController:
             for name, share in self.enforcers[base_station].shares().items()
         }
 
+    def snapshot(self) -> dict:
+        """Per-BS granted shares (RadioShare objects are immutable)."""
+        return {name: enforcer.shares() for name, enforcer in self.enforcers.items()}
+
+    def restore(self, snapshot: dict) -> None:
+        """Re-grant exactly the shares of a :meth:`snapshot`."""
+        for name, enforcer in self.enforcers.items():
+            enforcer._shares = dict(snapshot.get(name, {}))
+
 
 class TransportController:
     """Programs per-slice bandwidth on every transport link (SDN paths)."""
@@ -87,6 +97,12 @@ class TransportController:
     def clear(self) -> None:
         """Tear down every per-link bandwidth reservation."""
         self.reservations_mbps = {link.key: {} for link in self.topology.links}
+
+    def snapshot(self) -> dict:
+        return {key: dict(slices) for key, slices in self.reservations_mbps.items()}
+
+    def restore(self, snapshot: dict) -> None:
+        self.reservations_mbps = {key: dict(slices) for key, slices in snapshot.items()}
 
     def link_reservation(self, link_key: tuple[str, str]) -> float:
         key = tuple(sorted(link_key))
@@ -114,6 +130,12 @@ class CloudController:
         """Release every CPU reservation."""
         self.reservations_cpus = {cu.name: {} for cu in self.topology.compute_units}
 
+    def snapshot(self) -> dict:
+        return {name: dict(slices) for name, slices in self.reservations_cpus.items()}
+
+    def restore(self, snapshot: dict) -> None:
+        self.reservations_cpus = {name: dict(slices) for name, slices in snapshot.items()}
+
     def cu_reservation(self, compute_unit: str) -> float:
         return float(sum(self.reservations_cpus.get(compute_unit, {}).values()))
 
@@ -129,6 +151,10 @@ class ControllerSet:
     ran: RanController
     transport: TransportController
     cloud: CloudController
+    #: Optional chaos hook, called with the hook-point name right before each
+    #: domain apply (see repro.faults for the hook catalogue).  ``None`` in
+    #: production; a :class:`repro.faults.FaultInjector` under test.
+    fault_hook: "Callable[[str], None] | None" = None
 
     @classmethod
     def for_topology(cls, topology: NetworkTopology) -> "ControllerSet":
@@ -138,11 +164,44 @@ class ControllerSet:
             cloud=CloudController(topology),
         )
 
+    def snapshot(self) -> dict:
+        """Capture the enforced reservations of all three domains."""
+        return {
+            "ran": self.ran.snapshot(),
+            "transport": self.transport.snapshot(),
+            "cloud": self.cloud.snapshot(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset all three domains to a :meth:`snapshot` taken earlier."""
+        self.ran.restore(snapshot["ran"])
+        self.transport.restore(snapshot["transport"])
+        self.cloud.restore(snapshot["cloud"])
+
     def apply(self, problem: ACRRProblem, decision: OrchestrationDecision) -> None:
-        """Enforce one orchestration decision across all three domains."""
-        self.ran.apply(problem, decision)
-        self.transport.apply(problem, decision)
-        self.cloud.apply(problem, decision)
+        """Enforce one orchestration decision across all three domains.
+
+        All-or-nothing: if any domain apply raises, the domains that already
+        applied are rolled back to their pre-call reservations before the
+        exception propagates, so the controllers never enforce half of a
+        decision (e.g. RAN shares from the new decision with transport
+        reservations from the previous one).
+        """
+        before = self.snapshot()
+        try:
+            self._fire("controller.ran.apply")
+            self.ran.apply(problem, decision)
+            self._fire("controller.transport.apply")
+            self.transport.apply(problem, decision)
+            self._fire("controller.cloud.apply")
+            self.cloud.apply(problem, decision)
+        except BaseException:
+            self.restore(before)
+            raise
+
+    def _fire(self, hook: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(hook)
 
     def clear(self) -> None:
         """Release every reservation in every domain.

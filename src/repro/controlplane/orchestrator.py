@@ -20,6 +20,7 @@ trace replayer, the bundled simulator) gets the same behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 import numpy as np
 
@@ -47,6 +48,7 @@ from repro.forecasting import (
     HoltWintersForecaster,
     NaiveForecaster,
 )
+from repro.topology.generators import degrade_link_capacities
 from repro.topology.network import NetworkTopology
 from repro.topology.paths import PathSet, compute_path_sets
 
@@ -86,13 +88,32 @@ class ForecastingBlock:
     primary: Forecaster
     fallback: Forecaster = field(default_factory=DoubleExponentialForecaster)
     last_resort: Forecaster = field(default_factory=NaiveForecaster)
+    #: Optional chaos hook, fired on entry of every per-slice forecast (hook
+    #: point ``forecast.forecast_for``); ``None`` in production.
+    fault_hook: Callable[[str], None] | None = None
 
     def forecast_for(self, request: SliceRequest, history: np.ndarray) -> ForecastInput:
+        """Forecast one slice's next-epoch peak, never raising.
+
+        Forecasting is advisory, so a failure anywhere in the chain -- an
+        injected chaos fault or a real forecaster bug -- degrades to the
+        next tier instead of failing the epoch, bottoming out at the
+        pessimistic full-SLA forecast (the same stance taken for slices with
+        no history: an unforecastable slice is simply not overbooked).
+        """
         history = np.asarray(history, dtype=float)
+        if self.fault_hook is not None:
+            try:
+                self.fault_hook("forecast.forecast_for")
+            except Exception:
+                return ForecastInput.pessimistic(request.sla_mbps)
         for forecaster in (self.primary, self.fallback, self.last_resort):
-            if forecaster.can_forecast(history):
-                outcome = forecaster.forecast(history, horizon=1)
-                return outcome.as_forecast_input(request.sla_mbps)
+            try:
+                if forecaster.can_forecast(history):
+                    outcome = forecaster.forecast(history, horizon=1)
+                    return outcome.as_forecast_input(request.sla_mbps)
+            except Exception:
+                continue
         return ForecastInput.pessimistic(request.sla_mbps)
 
 
@@ -141,6 +162,19 @@ class E2EOrchestrator:
         #: atomic pair so a failure later in run_epoch can never pair a stale
         #: decision with a fresh key.
         self._last_solve: tuple[tuple, OrchestrationDecision] | None = None
+        #: Optional :class:`repro.faults.FaultInjector` (chaos testing).
+        self.fault_injector = None
+        #: Link failures queued via :meth:`schedule_link_failure`, applied at
+        #: the start of the next epoch.
+        self._scheduled_link_failures: list[tuple[list[tuple[str, str]], float]] = []
+        #: True while a link-capacity loss still awaits a committed epoch's
+        #: re-homing pass.  Deliberately *not* part of the epoch checkpoint:
+        #: if the epoch that applied the damage rolls back, the retry must
+        #: re-run displacement detection (the damage itself persists).
+        self._rehome_pending = False
+        #: Names re-homed (released + renewal re-submitted) by the last
+        #: committed epoch, for the broker's EpochReport.
+        self.last_rehomed: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Request intake
@@ -195,12 +229,53 @@ class E2EOrchestrator:
         history = self.monitoring.peak_history(request.name)
         return self.forecasting.forecast_for(request, history)
 
+    def schedule_link_failure(
+        self, link_keys: list[tuple[str, str]], capacity_factor: float
+    ) -> None:
+        """Queue a mid-epoch link-capacity loss for the next decision epoch.
+
+        Each named link's capacity is multiplied by ``capacity_factor`` when
+        the next epoch starts (before expiries are processed), and any
+        admitted slice whose transport reservations no longer fit the
+        damaged links is re-homed through the renewal path.
+        """
+        if not 0.0 < capacity_factor < 1.0:
+            raise ValueError(
+                f"capacity_factor must be in (0, 1), got {capacity_factor!r}"
+            )
+        keys = [tuple(sorted(key)) for key in link_keys]
+        for key in keys:
+            self.topology.link(*key)  # raises KeyError for unknown links
+        self._scheduled_link_failures.append((keys, float(capacity_factor)))
+
     def run_epoch(self, epoch: int) -> OrchestrationDecision:
-        """Run the AC-RR cycle for one decision epoch and enforce the result."""
+        """Run the AC-RR cycle for one decision epoch and enforce the result.
+
+        Crash-consistent: every mutable control-plane structure (registry,
+        intake queue, controllers, the solver layer's warm-start state, the
+        decision-reuse pair and the problem-structure cache) is checkpointed
+        on entry, and any exception -- an injected fault, a solver error, a
+        controller apply failure -- restores the checkpoint byte-for-byte
+        before propagating.  The epoch either commits fully or did not
+        happen.  Topology damage applied by a link failure is *not* rolled
+        back: the network really is degraded, and the retry epoch re-detects
+        and re-homes the displaced slices.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.begin_epoch(epoch)
+        checkpoint = self._checkpoint()
+        try:
+            return self._run_epoch_inner(epoch)
+        except BaseException:
+            self._restore_checkpoint(checkpoint)
+            raise
+
+    def _run_epoch_inner(self, epoch: int) -> OrchestrationDecision:
+        self._apply_link_failures(epoch)
+        rehomed = self._rehome_displaced(epoch) if self._rehome_pending else ()
         self.registry.expire_due(epoch)
 
         new_requests = self.slice_manager.collect_for_epoch(epoch)
-        renewal_error: SliceStateError | None = None
         for request in new_requests:
             if request.name not in self.registry:
                 self.registry.register(request)
@@ -210,16 +285,12 @@ class E2EOrchestrator:
                 # registry archives the old record and the renewal competes
                 # for admission like any new arrival), a lifecycle error
                 # while the original slice is still live.  Intake already
-                # rejects live-name renewals, so this is defence in depth --
-                # and the error is deferred so an invalid renewal smuggled
-                # into the batch cannot keep its batch-mates from being
-                # registered (they are retried from the registry next epoch).
-                try:
-                    self.registry.renew(request)
-                except SliceStateError as error:
-                    renewal_error = renewal_error or error
-        if renewal_error is not None:
-            raise renewal_error
+                # rejects live-name renewals, so this is defence in depth.
+                # The raise rolls the whole epoch back (run_epoch restores
+                # the checkpoint), returning every collected request --
+                # including the invalid one -- to the intake queue intact;
+                # withdrawing the poisoned request unblocks its batch mates.
+                self.registry.renew(request)
 
         committed_records = self.registry.active_slices(epoch)
         committed_requests = []
@@ -252,6 +323,8 @@ class E2EOrchestrator:
             self.last_problem = None
             self.last_decision = None
             self.controllers.clear()
+            self.last_rehomed = tuple(rehomed)
+            self._rehome_pending = False
             return OrchestrationDecision(
                 allocations={},
                 objective_value=0.0,
@@ -274,7 +347,106 @@ class E2EOrchestrator:
         self.controllers.apply(problem, decision)
         self.last_problem = problem
         self.last_decision = decision
+        self.last_rehomed = tuple(rehomed)
+        self._rehome_pending = False
         return decision
+
+    # ------------------------------------------------------------------ #
+    # Crash consistency and link-failure handling
+    # ------------------------------------------------------------------ #
+    def _checkpoint(self) -> dict:
+        snapshot_state = getattr(self.solver, "snapshot_state", None)
+        return {
+            "registry": self.registry.snapshot(),
+            "manager": self.slice_manager.snapshot(),
+            "controllers": self.controllers.snapshot(),
+            "solver": snapshot_state() if snapshot_state is not None else None,
+            "last_solve": self._last_solve,
+            "last_problem": self.last_problem,
+            "last_decision": self.last_decision,
+            "cache": self.problem_cache.snapshot(),
+            "rehomed": self.last_rehomed,
+        }
+
+    def _restore_checkpoint(self, checkpoint: dict) -> None:
+        self.registry.restore(checkpoint["registry"])
+        self.slice_manager.restore(checkpoint["manager"])
+        self.controllers.restore(checkpoint["controllers"])
+        restore_state = getattr(self.solver, "restore_state", None)
+        if restore_state is not None:
+            restore_state(checkpoint["solver"])
+        self._last_solve = checkpoint["last_solve"]
+        self.last_problem = checkpoint["last_problem"]
+        self.last_decision = checkpoint["last_decision"]
+        self.problem_cache.restore(checkpoint["cache"])
+        self.last_rehomed = checkpoint["rehomed"]
+
+    def _apply_link_failures(self, epoch: int) -> None:
+        """Damage the topology per the injector and the scheduled failures."""
+        failures: list[tuple[tuple[str, str], float]] = []
+        if self.fault_injector is not None:
+            failures.extend(self.fault_injector.link_faults(epoch, self.topology))
+        scheduled = self._scheduled_link_failures
+        self._scheduled_link_failures = []
+        for keys, factor in scheduled:
+            failures.extend((key, factor) for key in keys)
+        for key, factor in failures:
+            degrade_link_capacities(self.topology, [key], factor)
+        if failures:
+            self._rehome_pending = True
+
+    def _rehome_displaced(self, epoch: int) -> list[str]:
+        """Re-home slices displaced by link damage through the renewal path.
+
+        A slice is displaced when it holds a transport reservation on a link
+        whose reserved total now exceeds the (damaged) capacity.  Every
+        displaced slice is released (terminal EXPIRED, reservations
+        reclaimed by this epoch's decision) and a renewal request -- same
+        name, remaining lifetime, arriving now -- is queued, so it is
+        collected this very epoch and competes for admission on the damaged
+        network like any arrival.  Slices in their final epoch are left to
+        expire naturally.
+        """
+        overloaded: list[tuple[str, str]] = []
+        for key, slices in self.controllers.transport.reservations_mbps.items():
+            if not slices:
+                continue
+            if sum(slices.values()) > self.topology.link(*key).capacity_mbps + 1e-9:
+                overloaded.append(key)
+        displaced: list[str] = sorted(
+            {
+                name
+                for key in overloaded
+                for name in self.controllers.transport.reservations_mbps[key]
+            }
+        )
+        rehomed: list[str] = []
+        for name in displaced:
+            if name not in self.registry:
+                continue
+            record = self.registry.record(name)
+            if not record.is_active(epoch):
+                continue
+            remaining = record.expires_at() - epoch
+            if remaining <= 0:
+                continue
+            self.registry.release(name)
+            if self.slice_manager.pending_request(name) is not None:
+                # A renewal is already queued under this name (e.g. a tenant
+                # pre-booked one); it will compete for admission instead.
+                rehomed.append(name)
+                continue
+            renewal = replace(
+                record.request,
+                arrival_epoch=epoch,
+                duration_epochs=remaining,
+                committed=False,
+                metadata=dict(record.request.metadata),
+            )
+            renewal.metadata["rehomed_at_epoch"] = epoch
+            self.slice_manager.submit(renewal)
+            rehomed.append(name)
+        return rehomed
 
     # ------------------------------------------------------------------ #
     # Internals

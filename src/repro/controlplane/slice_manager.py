@@ -135,6 +135,18 @@ class SliceManager:
         except KeyError:
             raise KeyError(f"no queued request named {name!r}") from None
 
+    def snapshot(self) -> dict[str, SliceRequest]:
+        """Capture the intake queue for epoch-level rollback.
+
+        Requests are immutable, so a shallow copy of the (insertion-ordered)
+        queue dict is a complete snapshot.
+        """
+        return dict(self._pending)
+
+    def restore(self, snapshot: dict[str, SliceRequest]) -> None:
+        """Reset the queue to a :meth:`snapshot` taken earlier."""
+        self._pending = dict(snapshot)
+
     def collect_for_epoch(self, epoch: int) -> list[SliceRequest]:
         """Release the requests that the orchestrator should consider at ``epoch``.
 

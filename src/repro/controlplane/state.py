@@ -9,7 +9,7 @@ until it expires -- can be enforced in later epochs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.slices import SliceRequest
 
@@ -40,6 +40,12 @@ class SliceRecord:
     @property
     def name(self) -> str:
         return self.request.name
+
+    def copy(self) -> "SliceRecord":
+        """Independent copy (records are mutated in place by transitions)."""
+        return replace(
+            self, last_reservations_mbps=dict(self.last_reservations_mbps)
+        )
 
     def expires_at(self) -> int:
         """First epoch at which an admitted slice stops being provisioned."""
@@ -192,6 +198,37 @@ class SliceRegistry:
             for record in self._records.values()
             if record.state is SliceState.REJECTED
         ]
+
+    # ------------------------------------------------------------------ #
+    # Crash-consistent epochs (snapshot / restore)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Capture the registry state for epoch-level rollback.
+
+        Live records are mutated in place by the lifecycle transitions, so
+        each one is copied; archived records are immutable once archived, so
+        only the per-name lists are copied.  The snapshot is independent of
+        any later mutation -- :meth:`restore` brings the registry back to a
+        byte-identical pre-epoch state.
+        """
+        return {
+            "records": {name: record.copy() for name, record in self._records.items()},
+            "archive": {name: list(records) for name, records in self._archive.items()},
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset the registry to a :meth:`snapshot` taken earlier.
+
+        The registry object itself is preserved (callers hold references to
+        it); only its internal tables are swapped.  Records are re-copied so
+        the same snapshot can be restored more than once.
+        """
+        self._records = {
+            name: record.copy() for name, record in snapshot["records"].items()
+        }
+        self._archive = {
+            name: list(records) for name, records in snapshot["archive"].items()
+        }
 
     def counts_by_state(self) -> dict[SliceState, int]:
         counts = {state: 0 for state in SliceState}

@@ -316,6 +316,51 @@ class CutPool:
     def clear(self) -> None:
         self._entries.clear()
 
+    # ------------------------------------------------------------------ #
+    # Crash-consistent epochs (snapshot / restore)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Capture the pool for epoch-level rollback.
+
+        Multiplier arrays and incumbents are never mutated in place once
+        recorded (``record`` stores fresh copies), so a structural copy --
+        new entry objects with copied multiplier lists -- is a complete,
+        mutation-independent snapshot.
+        """
+        return {
+            "entries": {
+                key: _PoolEntry(
+                    num_rows=entry.num_rows,
+                    multipliers=list(entry.multipliers),
+                    best_x=entry.best_x,
+                    instance_token=entry.instance_token,
+                    best_stats=entry.best_stats,
+                )
+                for key, entry in self._entries.items()
+            },
+            "seeded_total": self.seeded_total,
+            "dropped_total": self.dropped_total,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Reset the pool to a :meth:`snapshot_state` taken earlier.
+
+        Entries are re-copied so the same snapshot can be restored more
+        than once; the pool object itself (and its limits) is preserved.
+        """
+        self._entries = {
+            key: _PoolEntry(
+                num_rows=entry.num_rows,
+                multipliers=list(entry.multipliers),
+                best_x=entry.best_x,
+                instance_token=entry.instance_token,
+                best_stats=entry.best_stats,
+            )
+            for key, entry in snapshot["entries"].items()
+        }
+        self.seeded_total = snapshot["seeded_total"]
+        self.dropped_total = snapshot["dropped_total"]
+
 
 #: Relative width of the "essentially exact" certificate tier of the warm
 #: fast path -- the same comparison tolerance the differential harness uses
@@ -370,6 +415,17 @@ class BendersSolver:
             self.cut_pool: CutPool | None = cut_pool
         else:
             self.cut_pool = CutPool() if warm_start else None
+
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict | None:
+        """Cross-epoch state (the cut pool) for epoch-level rollback."""
+        if self.cut_pool is None:
+            return None
+        return self.cut_pool.snapshot_state()
+
+    def restore_state(self, snapshot: dict | None) -> None:
+        if self.cut_pool is not None and snapshot is not None:
+            self.cut_pool.restore_state(snapshot)
 
     # ------------------------------------------------------------------ #
     def solve(self, problem: ACRRProblem) -> OrchestrationDecision:

@@ -798,3 +798,11 @@ class ProblemStructureCache:
     def invalidate(self) -> None:
         self._problem = None
         self._topology_signature = None
+
+    def snapshot(self) -> tuple:
+        """Capture the cache for epoch-level rollback (problems are never
+        mutated once built, so references suffice)."""
+        return (self._problem, self._topology_signature, self.hits, self.misses)
+
+    def restore(self, snapshot: tuple) -> None:
+        self._problem, self._topology_signature, self.hits, self.misses = snapshot

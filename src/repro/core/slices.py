@@ -182,8 +182,15 @@ class SliceRequest:
         return self.arrival_epoch <= epoch < self.expires_at()
 
     def as_committed(self) -> "SliceRequest":
-        """Return a copy marked as already admitted (constraint (13))."""
-        return replace(self, committed=True)
+        """Return a copy marked as already admitted (constraint (13)).
+
+        The metadata dict is copied too: callers annotate the committed copy
+        (e.g. the orchestrator pins ``preferred_compute_unit``), and a
+        ``dataclasses.replace`` alone would alias the original's dict --
+        mutating state that crash-consistent epochs must be able to roll
+        back.
+        """
+        return replace(self, committed=True, metadata=dict(self.metadata))
 
 
 def make_requests(

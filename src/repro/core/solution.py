@@ -34,6 +34,13 @@ class SolverStats:
     #: or vouching for a replayed identical instance); 0 on cold solves.
     cuts_warm: int = 0
     message: str = ""
+    #: Safeguard-chain tier that produced this decision ("primary" when the
+    #: normal solver succeeded; see repro.faults.safeguard for the others).
+    tier: str = "primary"
+    #: Transient-failure retries the safeguard chain spent before success.
+    retries: int = 0
+    #: Why the chain fell past the primary tier ("" on a clean solve).
+    fallback_reason: str = ""
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,68 @@
+"""Chaos layer: deterministic fault injection and safeguarded degradation.
+
+See DESIGN.md, "Fault model & degraded modes", for the hook-point catalogue,
+the safeguard-chain tiers and their guarantees, and the health state
+machine.
+"""
+
+from repro.faults.fingerprint import control_plane_fingerprint
+from repro.faults.injector import (
+    ChaosSolver,
+    FaultInjector,
+    FiredFault,
+    attach_injector,
+)
+from repro.faults.plan import (
+    ALL_HOOKS,
+    HOOK_CLOUD_APPLY,
+    HOOK_FORECAST,
+    HOOK_RAN_APPLY,
+    HOOK_SOLVER,
+    HOOK_TOPOLOGY,
+    HOOK_TRANSPORT_APPLY,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    SolverBudgetExceededError,
+    TransientSolverError,
+)
+from repro.faults.safeguard import (
+    TIER_NO_OVERBOOKING,
+    TIER_ORDER,
+    TIER_PRIMARY,
+    TIER_REJECT_ALL,
+    TIER_WARM_REPLAY,
+    BrokerHealth,
+    HealthMonitor,
+    SafeguardedSolver,
+)
+
+__all__ = [
+    "ALL_HOOKS",
+    "HOOK_CLOUD_APPLY",
+    "HOOK_FORECAST",
+    "HOOK_RAN_APPLY",
+    "HOOK_SOLVER",
+    "HOOK_TOPOLOGY",
+    "HOOK_TRANSPORT_APPLY",
+    "TIER_NO_OVERBOOKING",
+    "TIER_ORDER",
+    "TIER_PRIMARY",
+    "TIER_REJECT_ALL",
+    "TIER_WARM_REPLAY",
+    "BrokerHealth",
+    "ChaosSolver",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "HealthMonitor",
+    "InjectedFaultError",
+    "SafeguardedSolver",
+    "SolverBudgetExceededError",
+    "TransientSolverError",
+    "attach_injector",
+    "control_plane_fingerprint",
+]

@@ -1,0 +1,233 @@
+"""Seeded, content-hashed fault-plan DSL.
+
+A :class:`FaultPlan` is a declarative description of *which* faults hit
+*which* control-plane hook points at *which* epochs.  Plans are pure data:
+deterministic (the same plan against the same scenario produces the same
+run, fault for fault), content-hashed (two structurally identical plans hash
+identically, so sweeps can be cached and failures replayed from a hash), and
+serialisable (``to_dict``/``from_dict`` round-trip losslessly).
+
+The hook-point catalogue (see DESIGN.md, "Fault model & degraded modes"):
+
+========================  ====================================================
+hook point                where it fires
+========================  ====================================================
+``solver.solve``          the primary solver invocation inside the epoch solve
+``controller.ran.apply``  right before the RAN controller enforces a decision
+``controller.transport.apply``  right before the transport controller applies
+``controller.cloud.apply``      right before the cloud controller applies
+``forecast.forecast_for`` entry of the forecasting block for one slice
+``topology.pre_epoch``    start of ``run_epoch``, before expiries are
+                          processed (mid-epoch link capacity loss)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.rng import normalize_spec, spec_hash
+
+HOOK_SOLVER = "solver.solve"
+HOOK_RAN_APPLY = "controller.ran.apply"
+HOOK_TRANSPORT_APPLY = "controller.transport.apply"
+HOOK_CLOUD_APPLY = "controller.cloud.apply"
+HOOK_FORECAST = "forecast.forecast_for"
+HOOK_TOPOLOGY = "topology.pre_epoch"
+
+#: Every hook point the chaos layer knows, in firing order within an epoch.
+ALL_HOOKS = (
+    HOOK_TOPOLOGY,
+    HOOK_FORECAST,
+    HOOK_SOLVER,
+    HOOK_RAN_APPLY,
+    HOOK_TRANSPORT_APPLY,
+    HOOK_CLOUD_APPLY,
+)
+
+
+class FaultKind(str, enum.Enum):
+    """What happens when a fault fires at its hook point."""
+
+    #: Retryable solver exception -- the safeguard chain's retry tier clears
+    #: it once the spec's ``times`` budget is exhausted.
+    TRANSIENT = "transient"
+    #: Non-retryable exception raised at the hook point.
+    CRASH = "crash"
+    #: Solver iteration budget exhausted without an incumbent.
+    BUDGET = "budget"
+    #: Mid-epoch link capacity loss (params: ``factor`` in (0, 1), and either
+    #: an explicit ``links`` list or a ``fraction`` of links to degrade).
+    LINK_DOWN = "link_down"
+
+
+class InjectedFaultError(RuntimeError):
+    """A fault deliberately raised by the chaos layer."""
+
+
+class TransientSolverError(InjectedFaultError):
+    """An injected solver failure that a retry may clear."""
+
+
+class SolverBudgetExceededError(InjectedFaultError):
+    """The solver's iteration budget ran out before an incumbent existed.
+
+    Not retryable: re-running the same instance under the same budget fails
+    identically, so the safeguard chain falls straight to the next tier.
+    """
+
+
+#: Hook points each fault kind may legally target.
+_KIND_HOOKS: dict[FaultKind, tuple[str, ...]] = {
+    FaultKind.TRANSIENT: (HOOK_SOLVER,),
+    FaultKind.BUDGET: (HOOK_SOLVER,),
+    FaultKind.CRASH: (
+        HOOK_SOLVER,
+        HOOK_RAN_APPLY,
+        HOOK_TRANSPORT_APPLY,
+        HOOK_CLOUD_APPLY,
+        HOOK_FORECAST,
+    ),
+    FaultKind.LINK_DOWN: (HOOK_TOPOLOGY,),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind, a hook point, an epoch, and a firing budget.
+
+    ``times`` is the number of consecutive invocations of the hook (within
+    the epoch) the fault covers: a ``TRANSIENT`` spec with ``times=2`` fails
+    the first two solver attempts and lets the third through, which is how
+    retry exhaustion is exercised deterministically.
+    """
+
+    hook: str
+    epoch: int
+    kind: FaultKind
+    times: int = 1
+    params: dict = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.hook not in ALL_HOOKS:
+            raise ValueError(
+                f"unknown hook point {self.hook!r}; expected one of {ALL_HOOKS}"
+            )
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {self.epoch}")
+        if self.times < 1:
+            raise ValueError(f"times must be at least 1, got {self.times}")
+        kind = FaultKind(self.kind)
+        object.__setattr__(self, "kind", kind)
+        if self.hook not in _KIND_HOOKS[kind]:
+            raise ValueError(
+                f"fault kind {kind.value!r} cannot target hook {self.hook!r}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+        if kind is FaultKind.LINK_DOWN:
+            factor = self.params.get("factor")
+            if not isinstance(factor, (int, float)) or not 0.0 < factor < 1.0:
+                raise ValueError(
+                    "link_down faults need a capacity 'factor' in (0, 1), "
+                    f"got {factor!r}"
+                )
+            if "links" not in self.params:
+                fraction = self.params.get("fraction")
+                if not isinstance(fraction, (int, float)) or not 0.0 < fraction <= 1.0:
+                    raise ValueError(
+                        "link_down faults need explicit 'links' or a "
+                        f"'fraction' in (0, 1], got {fraction!r}"
+                    )
+
+    def payload(self) -> dict:
+        return {
+            "hook": self.hook,
+            "epoch": self.epoch,
+            "kind": self.kind.value,
+            "times": self.times,
+            "params": normalize_spec(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        try:
+            return cls(
+                hook=str(payload["hook"]),
+                epoch=int(payload["epoch"]),
+                kind=FaultKind(payload["kind"]),
+                times=int(payload.get("times", 1)),
+                params=dict(payload.get("params", {})),
+            )
+        except KeyError as missing:
+            raise ValueError(
+                f"fault spec payload is missing field {missing.args[0]!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, content-hashed set of fault specs plus a sampling seed.
+
+    ``seed`` only feeds the *parameter sampling* of faults that need
+    randomness (which links a fractional ``LINK_DOWN`` degrades); the firing
+    schedule itself is fully determined by the specs.  ``FaultPlan.empty()``
+    is the canonical zero-fault plan: a run driven through the chaos layer
+    with an empty plan is byte-identical to an uninstrumented run.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def of(cls, *specs: FaultSpec, seed: int = 0) -> "FaultPlan":
+        return cls(specs=tuple(specs), seed=seed)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def specs_for(self, hook: str, epoch: int) -> list[FaultSpec]:
+        """The specs targeting one hook point at one epoch, in plan order."""
+        return [
+            spec
+            for spec in self.specs
+            if spec.hook == hook and spec.epoch == epoch
+        ]
+
+    @property
+    def max_epoch(self) -> int:
+        """Last epoch any spec targets (-1 for the empty plan)."""
+        return max((spec.epoch for spec in self.specs), default=-1)
+
+    def payload(self) -> dict:
+        return {
+            "schema_version": 1,
+            "seed": self.seed,
+            "specs": [spec.payload() for spec in self.specs],
+        }
+
+    def plan_hash(self) -> str:
+        """Content hash: structurally identical plans hash identically."""
+        return spec_hash(self.payload())
+
+    def to_dict(self) -> dict:
+        return self.payload()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        version = payload.get("schema_version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported fault-plan schema version {version!r}")
+        return cls(
+            specs=tuple(
+                FaultSpec.from_dict(spec) for spec in payload.get("specs", [])
+            ),
+            seed=int(payload.get("seed", 0)),
+        )

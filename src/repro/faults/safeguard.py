@@ -1,0 +1,320 @@
+"""Safeguarded solver chain and the broker health state machine.
+
+The shape follows the safeguarded augmented-Lagrangian pattern (Kanzow &
+Krueger, see PAPERS.md): an aggressive primary optimizer wrapped in
+safeguards that guarantee a valid -- possibly conservative -- outcome even
+when the primary path fails.  The tiers, strongest first:
+
+``primary``
+    The configured solver (Benders).  Transient failures are retried up to
+    ``max_retries`` times; a success here is bit-identical to an
+    unsafeguarded run.
+``warm_replay``
+    Replay the last *certified* decision (produced by a successful primary
+    solve) -- only when the problem's structure signature, topology
+    signature and request set are unchanged, so the replayed reservations
+    are still capacity-feasible.  May be stale w.r.t. this epoch's
+    forecasts; never overbooks physical resources beyond what was
+    certified.
+``no_overbooking``
+    Solve the no-overbooking variant exactly (full-SLA reservations).
+    Bit-identical to :class:`~repro.core.baseline.NoOverbookingSolver` on
+    the same instance -- the fault-matrix sweep pins this.  Used only if it
+    keeps every committed slice admitted.
+``reject_all``
+    Safe mode: committed slices stay admitted (lifecycle is never corrupted)
+    but with their data-plane reservations suspended; every new request is
+    rejected.  Trivially feasible, always available.
+
+The :class:`HealthMonitor` tracks the broker-visible health state:
+HEALTHY -> DEGRADED on any non-primary tier, degraded commit or failed
+epoch; DEGRADED -> HEALTHY after ``recovery_epochs`` consecutive clean
+primary epochs; reject-all puts the broker in SAFE_MODE, where the chain
+skips the primary except for a recovery probe every ``probe_interval``-th
+solve (a successful probe re-enters DEGRADED and starts the clean streak).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from repro.core.baseline import NoOverbookingSolver
+from repro.core.problem import ACRRProblem, topology_signature
+from repro.core.solution import (
+    OrchestrationDecision,
+    SolverStats,
+    TenantAllocation,
+)
+from repro.faults.plan import SolverBudgetExceededError, TransientSolverError
+
+TIER_PRIMARY = "primary"
+TIER_WARM_REPLAY = "warm_replay"
+TIER_NO_OVERBOOKING = "no_overbooking"
+TIER_REJECT_ALL = "reject_all"
+
+#: Fallback order, strongest tier first.
+TIER_ORDER = (TIER_PRIMARY, TIER_WARM_REPLAY, TIER_NO_OVERBOOKING, TIER_REJECT_ALL)
+
+
+class BrokerHealth(str, enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    SAFE_MODE = "safe_mode"
+
+
+class HealthMonitor:
+    """Tracks broker health across epochs (never rolled back with an epoch:
+    a fault that forced a rollback still *happened* and must count)."""
+
+    def __init__(self, recovery_epochs: int = 3, probe_interval: int = 4):
+        if recovery_epochs < 1:
+            raise ValueError("recovery_epochs must be at least 1")
+        if probe_interval < 1:
+            raise ValueError("probe_interval must be at least 1")
+        self.recovery_epochs = recovery_epochs
+        self.probe_interval = probe_interval
+        self.state = BrokerHealth.HEALTHY
+        #: Consecutive clean (primary-tier, undegraded) epochs so far.
+        self.clean_streak = 0
+        self._safe_solves = 0
+
+    def should_probe(self) -> bool:
+        """Whether the next solve may try the primary tier.
+
+        Always true outside SAFE_MODE.  In SAFE_MODE, every
+        ``probe_interval``-th solve is a recovery probe; the others go
+        straight to reject-all.
+        """
+        if self.state is not BrokerHealth.SAFE_MODE:
+            return True
+        self._safe_solves += 1
+        return self._safe_solves % self.probe_interval == 0
+
+    def note_outcome(self, tier: str, degraded: bool) -> None:
+        """Fold one committed epoch's solve outcome into the health state."""
+        if tier == TIER_REJECT_ALL:
+            if self.state is not BrokerHealth.SAFE_MODE:
+                self._safe_solves = 0
+            self.state = BrokerHealth.SAFE_MODE
+            self.clean_streak = 0
+        elif tier != TIER_PRIMARY or degraded:
+            self.state = BrokerHealth.DEGRADED
+            self.clean_streak = 0
+        else:
+            self.clean_streak += 1
+            if self.clean_streak >= self.recovery_epochs:
+                self.state = BrokerHealth.HEALTHY
+            elif self.state is BrokerHealth.SAFE_MODE:
+                # Successful recovery probe: leave safe mode, keep counting
+                # clean epochs towards HEALTHY.
+                self.state = BrokerHealth.DEGRADED
+
+    def note_failed_epoch(self) -> None:
+        """A rolled-back epoch: reset the streak, leave HEALTHY if there."""
+        self.clean_streak = 0
+        if self.state is BrokerHealth.HEALTHY:
+            self.state = BrokerHealth.DEGRADED
+
+
+class SafeguardedSolver:
+    """Solver wrapper that always returns a valid admission decision.
+
+    Drop-in for any ``solve(problem)`` solver.  On a clean primary solve the
+    returned decision is the primary's, untouched -- a zero-fault run
+    through the chain is byte-identical to an unsafeguarded run.  On
+    failure the chain falls through the tiers documented in the module
+    docstring, stamping the active tier, retry count and fallback reason
+    into ``decision.stats``.
+    """
+
+    #: Exception types the retry tier treats as transient.
+    TRANSIENT_TYPES = (TransientSolverError,)
+
+    def __init__(
+        self,
+        primary,
+        baseline: NoOverbookingSolver | None = None,
+        max_retries: int = 2,
+        health: HealthMonitor | None = None,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.primary = primary
+        self.baseline = baseline or NoOverbookingSolver()
+        self.max_retries = max_retries
+        self.health = health or HealthMonitor()
+        #: Last certified decision: (structure signature, topology
+        #: signature, decision) of the most recent successful primary solve.
+        self._certified: tuple[tuple, tuple, OrchestrationDecision] | None = None
+
+    # ------------------------------------------------------------------ #
+    def solve(self, problem: ACRRProblem) -> OrchestrationDecision:
+        if not self.health.should_probe():
+            decision = self._reject_all(
+                problem, retries=0, reason="safe mode (awaiting recovery probe)"
+            )
+            self.health.note_outcome(TIER_REJECT_ALL, degraded=True)
+            return decision
+
+        retries = 0
+        reason = ""
+        while True:
+            try:
+                decision = self.primary.solve(problem)
+            except self.TRANSIENT_TYPES as error:
+                if retries < self.max_retries:
+                    retries += 1
+                    continue
+                reason = f"transient failures exhausted {retries} retries: {error}"
+                break
+            except SolverBudgetExceededError as error:
+                reason = str(error)
+                break
+            except (ValueError, RuntimeError) as error:
+                reason = f"{type(error).__name__}: {error}"
+                break
+            self._certify(problem, decision)
+            if retries:
+                decision = self._with_stats(
+                    decision, tier=TIER_PRIMARY, retries=retries, reason=""
+                )
+            self.health.note_outcome(TIER_PRIMARY, degraded=bool(retries))
+            return decision
+
+        replay = self._warm_replay(problem)
+        if replay is not None:
+            decision = OrchestrationDecision(
+                allocations=replay.allocations,
+                objective_value=replay.objective_value,
+                stats=replace(
+                    replay.stats,
+                    runtime_s=0.0,
+                    iterations=0,
+                    cuts_optimality=0,
+                    cuts_feasibility=0,
+                    message="replayed last certified decision",
+                    tier=TIER_WARM_REPLAY,
+                    retries=retries,
+                    fallback_reason=reason,
+                ),
+                deficits=replay.deficits,
+            )
+            self.health.note_outcome(TIER_WARM_REPLAY, degraded=True)
+            return decision
+        reason += "; no certified decision to replay"
+
+        try:
+            decision = self.baseline.solve(problem)
+        except (ValueError, RuntimeError) as error:
+            reason += f"; baseline failed: {type(error).__name__}: {error}"
+        else:
+            if self._keeps_committed(problem, decision):
+                decision = self._with_stats(
+                    decision, tier=TIER_NO_OVERBOOKING, retries=retries, reason=reason
+                )
+                self.health.note_outcome(TIER_NO_OVERBOOKING, degraded=True)
+                return decision
+            reason += "; baseline dropped a committed slice"
+
+        decision = self._reject_all(problem, retries=retries, reason=reason)
+        self.health.note_outcome(TIER_REJECT_ALL, degraded=True)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # Cross-epoch state (duck-typed to the orchestrator's epoch checkpoint)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        inner = getattr(self.primary, "snapshot_state", None)
+        return {
+            "primary": inner() if inner is not None else None,
+            "certified": self._certified,
+        }
+
+    def restore_state(self, snapshot: dict | None) -> None:
+        if snapshot is None:
+            return
+        restore = getattr(self.primary, "restore_state", None)
+        if restore is not None:
+            restore(snapshot["primary"])
+        self._certified = snapshot["certified"]
+
+    # ------------------------------------------------------------------ #
+    def _certify(self, problem: ACRRProblem, decision: OrchestrationDecision) -> None:
+        self._certified = (
+            problem.structure_signature(),
+            topology_signature(problem.topology),
+            decision,
+        )
+
+    def _warm_replay(self, problem: ACRRProblem) -> OrchestrationDecision | None:
+        """The last certified decision, if still provably capacity-feasible.
+
+        The structure signature pins the request set and options; the
+        topology signature pins every capacity.  With both unchanged, the
+        certified reservations still fit the network -- only the forecasts
+        may have moved, which affects optimality, never feasibility of a
+        fixed reservation vector.
+        """
+        if self._certified is None:
+            return None
+        structure, topo, decision = self._certified
+        if structure != problem.structure_signature():
+            return None
+        if topo != topology_signature(problem.topology):
+            return None
+        return decision
+
+    def _keeps_committed(
+        self, problem: ACRRProblem, decision: OrchestrationDecision
+    ) -> bool:
+        return all(
+            decision.is_accepted(request.name)
+            for request in problem.requests
+            if request.committed
+        )
+
+    def _reject_all(
+        self, problem: ACRRProblem, retries: int, reason: str
+    ) -> OrchestrationDecision:
+        """Tier 4: keep committed slices admitted (reservations suspended),
+        reject everything else.  Never raises."""
+        allocations: dict[str, TenantAllocation] = {}
+        for request in problem.requests:
+            if request.committed:
+                allocations[request.name] = TenantAllocation(
+                    request=request,
+                    accepted=True,
+                    compute_unit=request.metadata.get("preferred_compute_unit"),
+                    paths={},
+                    reservations_mbps={},
+                )
+            else:
+                allocations[request.name] = TenantAllocation(
+                    request=request, accepted=False, compute_unit=None
+                )
+        return OrchestrationDecision(
+            allocations=allocations,
+            objective_value=0.0,
+            stats=SolverStats(
+                solver="safeguard",
+                optimal=False,
+                message="reject-all safe mode",
+                tier=TIER_REJECT_ALL,
+                retries=retries,
+                fallback_reason=reason,
+            ),
+        )
+
+    @staticmethod
+    def _with_stats(
+        decision: OrchestrationDecision, tier: str, retries: int, reason: str
+    ) -> OrchestrationDecision:
+        return OrchestrationDecision(
+            allocations=decision.allocations,
+            objective_value=decision.objective_value,
+            stats=replace(
+                decision.stats, tier=tier, retries=retries, fallback_reason=reason
+            ),
+            deficits=decision.deficits,
+        )

@@ -21,6 +21,7 @@ testbed of Fig. 8).  This package opens that workload space safely:
 from repro.scenarios.family import (
     CHURN_FAMILY,
     DIFFERENTIAL_FAMILY,
+    FAILURE_FAMILY,
     FAMILIES,
     SEASONAL_ONLINE_FAMILY,
     ScenarioFamily,
@@ -44,6 +45,7 @@ __all__ = [
     "CHURN_FAMILY",
     "DIFFERENTIAL_FAMILY",
     "DifferentialOutcome",
+    "FAILURE_FAMILY",
     "FAMILIES",
     "SEASONAL_ONLINE_FAMILY",
     "ScenarioFamily",

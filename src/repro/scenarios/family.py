@@ -93,6 +93,20 @@ class ScenarioFamily:
     degradation_probability: float = 0.0
     degraded_link_fraction: tuple[float, float] = (0.1, 0.3)
     degradation_factor: tuple[float, float] = (0.3, 0.8)
+    #: Probability that the sampled scenario contains a *mid-run* link
+    #: failure episode: at one epoch inside ``link_failure_window`` a subset
+    #: of links permanently loses capacity, displacing admitted slices onto
+    #: the re-homing path (contrast ``degradation_probability``, which
+    #: degrades the network *before* the run starts).
+    link_failure_probability: float = 0.0
+    failed_link_fraction: tuple[float, float] = (0.1, 0.3)
+    #: Remaining-capacity factor of each failed link, in (0, 1) -- links
+    #: never vanish entirely (a TransportLink needs positive capacity).
+    link_failure_factor: tuple[float, float] = (0.2, 0.6)
+    #: Where in the horizon the episode lands, as fractions of the last
+    #: epoch index; the sampled epoch is clamped to [1, num_epochs - 1] so
+    #: the failure always interrupts an already-running scenario.
+    link_failure_window: tuple[float, float] = (0.25, 0.75)
 
     # --- simulation --------------------------------------------------- #
     num_epochs: tuple[int, int] = (3, 6)
@@ -167,6 +181,25 @@ class ScenarioFamily:
                 f"{self.seasonal_probability!r} + {self.bursty_probability!r}"
             )
         ensure_probability(self.degradation_probability, "degradation_probability")
+        ensure_probability(self.link_failure_probability, "link_failure_probability")
+        object.__setattr__(
+            self,
+            "failed_link_fraction",
+            ensure_ordered_pair(self.failed_link_fraction, "failed_link_fraction", 0.0, 1.0),
+        )
+        lo, hi = ensure_ordered_pair(
+            self.link_failure_factor, "link_failure_factor", 1e-6, 1.0
+        )
+        if hi >= 1.0:
+            raise ValueError(
+                f"link_failure_factor must stay below 1, got {self.link_failure_factor!r}"
+            )
+        object.__setattr__(self, "link_failure_factor", (lo, hi))
+        object.__setattr__(
+            self,
+            "link_failure_window",
+            ensure_ordered_pair(self.link_failure_window, "link_failure_window", 0.0, 1.0),
+        )
         object.__setattr__(
             self,
             "degraded_link_fraction",
@@ -189,8 +222,23 @@ class ScenarioFamily:
     # Serialisation (campaign specs, run cache)
     # ------------------------------------------------------------------ #
     def as_dict(self) -> dict[str, Any]:
-        """JSON-level view of the family (tuples survive as lists)."""
-        return asdict(self)
+        """JSON-level view of the family (tuples survive as lists).
+
+        The mid-run link-failure knobs are omitted while they are inert
+        (``link_failure_probability == 0``) so every family declared before
+        they existed keeps its content hash -- and therefore every scenario
+        ever sampled from it stays byte-identical.
+        """
+        payload = asdict(self)
+        if self.link_failure_probability == 0:
+            for knob in (
+                "link_failure_probability",
+                "failed_link_fraction",
+                "link_failure_factor",
+                "link_failure_window",
+            ):
+                del payload[knob]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioFamily":
@@ -272,7 +320,34 @@ SEASONAL_ONLINE_FAMILY = ScenarioFamily(
     record_usage=True,
 )
 
+#: Mid-run link-failure episodes on otherwise moderate scenarios: every
+#: sample schedules one capacity-loss event between a quarter and three
+#: quarters of the way through the horizon.  The factors model a near-total
+#: outage (0.1-1 % of the capacity survives) rather than mild congestion:
+#: operator links are provisioned orders of magnitude above the slices'
+#: reservations, so anything gentler never exceeds a damaged link's capacity
+#: and the re-homing path would be declared but never exercised.
+FAILURE_FAMILY = ScenarioFamily(
+    name="link-failure",
+    num_base_stations=(2, 4),
+    num_tenants=(3, 7),
+    arrival_window_fraction=0.3,
+    min_duration_fraction=0.5,
+    mean_load_fraction=(0.15, 0.6),
+    relative_std=(0.05, 0.4),
+    link_failure_probability=1.0,
+    failed_link_fraction=(0.25, 0.5),
+    link_failure_factor=(0.001, 0.01),
+    num_epochs=(4, 7),
+    samples_per_epoch=6,
+)
+
 FAMILIES: dict[str, ScenarioFamily] = {
     family.name: family
-    for family in (DIFFERENTIAL_FAMILY, CHURN_FAMILY, SEASONAL_ONLINE_FAMILY)
+    for family in (
+        DIFFERENTIAL_FAMILY,
+        CHURN_FAMILY,
+        SEASONAL_ONLINE_FAMILY,
+        FAILURE_FAMILY,
+    )
 }

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.slices import TEMPLATES, SliceRequest
 from repro.scenarios.family import ScenarioFamily
-from repro.simulation.scenario import Scenario, SliceWorkload
+from repro.simulation.scenario import LinkFailureEvent, Scenario, SliceWorkload
 from repro.topology.generators import (
     OperatorProfile,
     degrade_link_capacities,
@@ -179,6 +179,39 @@ def _sample_workloads(
     return tuple(workloads)
 
 
+def _sample_link_failures(
+    family: ScenarioFamily,
+    rng: np.random.Generator,
+    topology: NetworkTopology,
+    num_epochs: int,
+) -> tuple[LinkFailureEvent, ...]:
+    """Sample the scenario's mid-run failure episode, if the family has one.
+
+    Must consume *no* rng draws when the knob is inert, so families declared
+    before the knob existed keep sampling byte-identical scenarios.
+    """
+    if family.link_failure_probability <= 0 or num_epochs < 2:
+        return ()
+    if rng.random() >= family.link_failure_probability:
+        return ()
+    window_lo, window_hi = family.link_failure_window
+    span = num_epochs - 1
+    epoch = int(round(_uniform(rng, (window_lo * span, window_hi * span))))
+    epoch = max(1, min(span, epoch))
+    links = topology.links
+    count = max(
+        1, int(round(_uniform(rng, family.failed_link_fraction) * len(links)))
+    )
+    count = min(count, len(links))
+    failed = choice_without_replacement(rng, [link.key for link in links], count)
+    factor = _uniform(rng, family.link_failure_factor)
+    return (
+        LinkFailureEvent(
+            epoch=epoch, links=tuple(failed), capacity_factor=factor
+        ),
+    )
+
+
 # --------------------------------------------------------------------- #
 # Public API
 # --------------------------------------------------------------------- #
@@ -189,6 +222,7 @@ def sample_scenario(family: ScenarioFamily, seed: int = 0) -> Scenario:
     num_epochs = _randint(rng, family.num_epochs)
     topology = _sample_topology(family, rng)
     workloads = _sample_workloads(family, rng, num_epochs)
+    link_failures = _sample_link_failures(family, rng, topology, num_epochs)
     return Scenario(
         name=f"gen:{family.name}:{family_hash[:8]}:seed={seed}",
         topology=topology,
@@ -200,6 +234,7 @@ def sample_scenario(family: ScenarioFamily, seed: int = 0) -> Scenario:
         forecast_mode=family.forecast_mode,
         record_usage=family.record_usage,
         seed=derive_seed(seed, "generated-demand", family_hash),
+        link_failures=link_failures,
     )
 
 
@@ -257,8 +292,10 @@ def scenario_payload(scenario: Scenario) -> dict[str, Any]:
     Everything that determines a simulation outcome is included: the full
     topology (element names and capacities), every workload (template,
     lifetime, penalty, demand spec) and the simulation knobs, seed included.
+    Mid-run link failures are appended only when present, so every scenario
+    sampled before the field existed keeps its fingerprint.
     """
-    return {
+    payload = {
         "name": scenario.name,
         "num_epochs": scenario.num_epochs,
         "epochs_per_day": scenario.epochs_per_day,
@@ -280,6 +317,16 @@ def scenario_payload(scenario: Scenario) -> dict[str, Any]:
             for workload in scenario.workloads
         ],
     }
+    if scenario.link_failures:
+        payload["link_failures"] = [
+            {
+                "epoch": event.epoch,
+                "links": [list(key) for key in event.links],
+                "capacity_factor": event.capacity_factor,
+            }
+            for event in scenario.link_failures
+        ]
+    return payload
 
 
 def scenario_fingerprint(scenario: Scenario) -> str:

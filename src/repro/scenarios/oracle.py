@@ -19,6 +19,7 @@ pure solver-layer check (no simulation noise involved).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.core.milp_solver import DirectMILPSolver
 from repro.core.problem import ACRRProblem, ProblemOptions
 from repro.core.solution import OrchestrationDecision
 from repro.simulation.scenario import Scenario
+from repro.topology.generators import degrade_link_capacities
+from repro.topology.network import NetworkTopology
 from repro.topology.paths import compute_path_sets
 from repro.traffic.patterns import demand_for_request
 from repro.utils.rng import derive_seed
@@ -47,14 +50,34 @@ _BENDERS_TOLERANCE = 1e-9
 _BENDERS_MAX_ITERATIONS = 12
 
 
+def _topology_at_epoch(scenario: Scenario, epoch: int) -> NetworkTopology:
+    """The network as the control plane sees it at ``epoch``.
+
+    Link-failure episodes are permanent, so every episode at or before
+    ``epoch`` is folded in -- on a deep copy, because degradation mutates
+    links in place and the scenario must stay reusable.
+    """
+    past = [event for event in scenario.link_failures if event.epoch <= epoch]
+    if not past:
+        return scenario.topology
+    topology = copy.deepcopy(scenario.topology)
+    for event in past:
+        degrade_link_capacities(topology, event.links, event.capacity_factor)
+    return topology
+
+
 def problem_for_scenario(scenario: Scenario, epoch: int = 0) -> ACRRProblem:
     """The AC-RR instance a scenario poses at one decision epoch.
 
     Requests are the slices active at ``epoch``; forecasts are derived from
     each workload's demand statistics (mean and relative spread at that
     epoch), i.e. the steady-state knowledge the Fig. 5/6 evaluation assumes.
+    Mid-run link failures scheduled at or before ``epoch`` are applied to
+    the instance's topology, so the oracle judges the same (damaged)
+    network the simulated control plane would be solving on.
     """
     ensure_non_negative_int(epoch, "epoch")
+    topology = _topology_at_epoch(scenario, epoch)
     requests = []
     forecasts: dict[str, ForecastInput] = {}
     for workload in scenario.workloads:
@@ -72,10 +95,10 @@ def problem_for_scenario(scenario: Scenario, epoch: int = 0) -> ACRRProblem:
             f"scenario {scenario.name!r} has no active slice at epoch {epoch}"
         )
     path_set = compute_path_sets(
-        scenario.topology, k=scenario.candidate_paths_per_pair
+        topology, k=scenario.candidate_paths_per_pair
     )
     return ACRRProblem(
-        topology=scenario.topology,
+        topology=topology,
         path_set=path_set,
         requests=requests,
         forecasts=forecasts,

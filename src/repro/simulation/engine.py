@@ -17,6 +17,7 @@ through the facade, never the orchestrator directly.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -111,8 +112,16 @@ class SimulationEngine:
             samples_per_epoch=scenario.samples_per_epoch,
             candidate_paths_per_pair=scenario.candidate_paths_per_pair,
         )
+        # Link-failure episodes damage the topology in place; run them on a
+        # private copy so the (frozen, reusable) scenario keeps describing
+        # the intact network and a second engine sees no scars.
+        self.topology = (
+            copy.deepcopy(scenario.topology)
+            if scenario.link_failures
+            else scenario.topology
+        )
         self.broker = SliceBroker(
-            topology=scenario.topology, solver=solver, config=config
+            topology=self.topology, solver=solver, config=config
         )
         #: The wrapped orchestrator, kept for benchmarks/tests that tweak its
         #: configuration in place; the engine itself only drives the broker.
@@ -218,6 +227,9 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------ #
     def _run_one_epoch(self, epoch: int) -> EpochRecord:
+        for event in self.scenario.link_failures:
+            if event.epoch == epoch:
+                self.broker.inject_link_failure(event.links, event.capacity_factor)
         report = self.broker.advance_epoch(epoch)
         decision = self.broker.last_decision
         active_records = self.broker.active_slices(epoch)
@@ -233,7 +245,7 @@ class SimulationEngine:
             allocation = decision.allocations.get(record.name)
             if allocation is not None and allocation.accepted:
                 active_allocations[record.name] = allocation
-            for bs in self.scenario.topology.base_station_names:
+            for bs in self.topology.base_station_names:
                 demand = self._demand_model(workload, bs)
                 # Convert to float64 once here; the multiplexer and the
                 # revenue accountant consume the arrays as-is.
@@ -246,7 +258,7 @@ class SimulationEngine:
 
         # Work-conserving data plane: traffic above a slice's reservation is
         # only lost when a resource it traverses actually saturates.
-        multiplexer = SliceMultiplexer(self.scenario.topology, active_allocations)
+        multiplexer = SliceMultiplexer(self.topology, active_allocations)
         load_result = multiplexer.unserved_traffic(offered)
         for (name, bs), samples in offered.items():
             unserved = load_result.unserved_mbps.get((name, bs), np.zeros_like(samples))

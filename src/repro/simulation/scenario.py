@@ -50,6 +50,37 @@ class SliceWorkload:
 
 
 @dataclass(frozen=True)
+class LinkFailureEvent:
+    """A mid-run capacity-loss episode.
+
+    At the start of ``epoch``'s admission round every link in ``links``
+    permanently drops to ``capacity_factor`` times its current capacity
+    (links never vanish outright -- a transport link needs positive
+    capacity).  Slices whose reservations no longer fit are displaced and
+    re-admitted through the orchestrator's re-homing path.
+    """
+
+    epoch: int
+    links: tuple[tuple[str, str], ...]
+    capacity_factor: float
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {self.epoch!r}")
+        if not self.links:
+            raise ValueError("a link-failure event needs at least one link")
+        if not 0.0 < self.capacity_factor < 1.0:
+            raise ValueError(
+                f"capacity_factor must lie in (0, 1), got {self.capacity_factor!r}"
+            )
+        object.__setattr__(
+            self,
+            "links",
+            tuple(tuple(sorted((str(a), str(b)))) for a, b in self.links),
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A complete simulation configuration."""
 
@@ -66,6 +97,10 @@ class Scenario:
     forecast_mode: str = "oracle"
     record_usage: bool = False
     seed: int | None = None
+    #: Mid-run capacity-loss episodes, applied by whatever drives the
+    #: scenario (the simulation engine schedules them on the broker; the
+    #: differential oracle folds past episodes into the epoch's instance).
+    link_failures: tuple[LinkFailureEvent, ...] = ()
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.num_epochs, "num_epochs")
@@ -79,6 +114,16 @@ class Scenario:
         if len(set(names)) != len(names):
             duplicates = sorted({n for n in names if names.count(n) > 1})
             raise ValueError(f"workload slice names must be unique, got duplicates {duplicates}")
+        known_links = {link.key for link in self.topology.links}
+        for event in self.link_failures:
+            if event.epoch >= self.num_epochs:
+                raise ValueError(
+                    f"link failure at epoch {event.epoch} lies outside the "
+                    f"{self.num_epochs}-epoch horizon"
+                )
+            unknown = sorted(set(event.links) - known_links)
+            if unknown:
+                raise ValueError(f"link failure names unknown links: {unknown}")
 
     @property
     def requests(self) -> list[SliceRequest]:

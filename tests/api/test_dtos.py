@@ -146,6 +146,14 @@ reports = st.builds(
     solver_warm_cuts=st.integers(min_value=0, max_value=1000),
     solver_message=st.text(max_size=40),
     events=st.lists(events, max_size=3).map(tuple),
+    degraded=st.booleans(),
+    solver_tier=st.sampled_from(
+        ["primary", "warm_replay", "no_overbooking", "reject_all"]
+    ),
+    solver_retries=st.integers(min_value=0, max_value=5),
+    health=st.sampled_from(["healthy", "degraded", "safe_mode"]),
+    degraded_reasons=st.lists(st.text(max_size=30), max_size=3).map(tuple),
+    rehomed=name_tuples,
 )
 
 ALL_DTOS = [
@@ -300,3 +308,46 @@ class TestSliceDescriptorRoundTrip:
         del payload["sla_mbps"]
         with pytest.raises(ValueError, match="sla_mbps"):
             SliceDescriptor.from_dict(payload)
+
+
+class TestEpochReportDegradationFields:
+    def test_degradation_fields_round_trip_through_json(self):
+        report = EpochReport(
+            epoch=3,
+            idle=False,
+            objective_value=1.5,
+            degraded=True,
+            solver_tier="no_overbooking",
+            solver_retries=2,
+            health="safe_mode",
+            degraded_reasons=("solver tier no_overbooking: injected",),
+            rehomed=("s1", "s2"),
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        rebuilt = EpochReport.from_dict(payload)
+        assert rebuilt == report
+        assert payload["degraded"] is True
+        assert payload["solver_tier"] == "no_overbooking"
+        assert payload["rehomed"] == ["s1", "s2"]
+
+    def test_pre_chaos_payloads_default_to_healthy(self):
+        # Reports serialised before the chaos layer existed lack the
+        # degradation keys; deserialisation must fill in the clean defaults.
+        report = EpochReport(epoch=0, idle=True, objective_value=0.0)
+        payload = report.to_dict()
+        for key in (
+            "degraded",
+            "solver_tier",
+            "solver_retries",
+            "health",
+            "degraded_reasons",
+            "rehomed",
+        ):
+            del payload[key]
+        rebuilt = EpochReport.from_dict(payload)
+        assert rebuilt.degraded is False
+        assert rebuilt.solver_tier == "primary"
+        assert rebuilt.solver_retries == 0
+        assert rebuilt.health == "healthy"
+        assert rebuilt.degraded_reasons == ()
+        assert rebuilt.rehomed == ()

@@ -68,3 +68,66 @@ class TestCloudController:
             assert controllers.cloud.cu_headroom(cu.name) == pytest.approx(
                 cu.capacity_cpus - reserved
             )
+
+
+class TestAtomicApply:
+    """ControllerSet.apply is all-or-nothing across the three domains."""
+
+    @pytest.mark.parametrize(
+        "crash_at",
+        [
+            "controller.ran.apply",
+            "controller.transport.apply",
+            "controller.cloud.apply",
+        ],
+        ids=lambda hook: hook.split(".")[1],
+    )
+    def test_crash_in_any_domain_rolls_all_domains_back(
+        self, mixed_problem, crash_at
+    ):
+        decision = DirectMILPSolver().solve(mixed_problem)
+        controllers = ControllerSet.for_topology(mixed_problem.topology)
+
+        def hook(name: str) -> None:
+            if name == crash_at:
+                raise RuntimeError(f"injected crash before {name}")
+
+        controllers.fault_hook = hook
+        before = controllers.snapshot()
+        with pytest.raises(RuntimeError, match="injected crash"):
+            controllers.apply(mixed_problem, decision)
+        # No domain keeps a partial enforcement: the domains that applied
+        # before the crash were rolled back with the rest.
+        assert controllers.snapshot() == before
+
+        # A clean retry enforces the full decision.
+        controllers.fault_hook = None
+        controllers.apply(mixed_problem, decision)
+        assert any(
+            controllers.ran.shares(bs)
+            for bs in mixed_problem.topology.base_station_names
+        )
+
+    def test_partial_apply_never_mixes_two_decisions(self, mixed_problem):
+        # Enforce decision A, then crash halfway through decision B: the
+        # controllers must still enforce exactly A, not a RAN-of-B /
+        # transport-of-A hybrid.
+        decision = DirectMILPSolver().solve(mixed_problem)
+        controllers = ControllerSet.for_topology(mixed_problem.topology)
+        controllers.apply(mixed_problem, decision)
+        enforced = controllers.snapshot()
+
+        import copy
+
+        empty = copy.deepcopy(decision)
+        for alloc in empty.allocations.values():
+            object.__setattr__(alloc, "accepted", False)
+
+        def crash_transport(name: str) -> None:
+            if name == "controller.transport.apply":
+                raise RuntimeError("injected")
+
+        controllers.fault_hook = crash_transport
+        with pytest.raises(RuntimeError):
+            controllers.apply(mixed_problem, empty)
+        assert controllers.snapshot() == enforced

@@ -138,16 +138,21 @@ class TestRenewals:
 
     def test_invalid_renewal_cannot_strand_batch_mates(self, orchestrator):
         """A live-name renewal smuggled past intake (direct manager submit)
-        raises at collection -- but the other requests registered from the
-        same batch must be retried on the next epoch, not silently lost."""
+        raises at collection -- the crash-consistent epoch rolls the whole
+        batch back to the intake queue, so its mates are never silently
+        lost: withdrawing the poisoned request unblocks them."""
         orchestrator.submit_request(urllc("u1", arrival=0, duration=24))
         orchestrator.run_epoch(0)
         orchestrator.slice_manager.submit(urllc("u1", arrival=1, duration=24))
         orchestrator.slice_manager.submit(urllc("u2", arrival=1, duration=24))
         with pytest.raises(SliceStateError):
             orchestrator.run_epoch(1)
-        # u2 was registered before the batch blew up; the next epoch picks
-        # it back up from the registry and gives it a verdict.
+        # The rollback returned both requests to the intake queue intact.
+        assert orchestrator.slice_manager.pending_request("u1") is not None
+        assert orchestrator.slice_manager.pending_request("u2") is not None
+        assert "u2" not in orchestrator.registry
+        # Cancelling the invalid renewal lets its batch mate proceed.
+        orchestrator.slice_manager.withdraw("u1")
         decision = orchestrator.run_epoch(2)
         assert "u2" in decision.allocations
         assert orchestrator.registry.record("u2").state in (

@@ -11,6 +11,7 @@ import pytest
 from repro.scenarios import (
     CHURN_FAMILY,
     DIFFERENTIAL_FAMILY,
+    FAILURE_FAMILY,
     FAMILIES,
     SEASONAL_ONLINE_FAMILY,
     ScenarioFamily,
@@ -21,7 +22,7 @@ from repro.scenarios import (
 from repro.traffic.patterns import demand_for_request
 from tests.differential.conftest import BASE_SEED, seed_note
 
-ALL_FAMILIES = (DIFFERENTIAL_FAMILY, CHURN_FAMILY, SEASONAL_ONLINE_FAMILY)
+ALL_FAMILIES = (DIFFERENTIAL_FAMILY, CHURN_FAMILY, SEASONAL_ONLINE_FAMILY, FAILURE_FAMILY)
 
 
 class TestByteDeterminism:

@@ -1,0 +1,268 @@
+"""Crash-consistent epochs under the full fault matrix.
+
+Every injected fault must leave the broker in exactly one of two states:
+
+* the epoch raised and the control plane was restored byte-identically to
+  its pre-epoch state (verified via ``control_plane_fingerprint``), after
+  which a clean retry commits; or
+* the epoch committed a consistent decision flagged ``degraded`` in its
+  report, with no-overbooking-tier decisions matching the
+  :class:`NoOverbookingSolver` oracle bit for bit.
+
+The fast matrix below runs in the unit shard; the exhaustive generated
+sweeps are ``chaos``-marked and run in CI's time-capped chaos job.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import BrokerError, SliceBroker, SliceRequestV1, SolverError
+from repro.core.baseline import NoOverbookingSolver
+from repro.core.forecast_inputs import ForecastInput
+from repro.core.milp_solver import DirectMILPSolver
+from repro.faults import (
+    HOOK_CLOUD_APPLY,
+    HOOK_FORECAST,
+    HOOK_RAN_APPLY,
+    HOOK_SOLVER,
+    HOOK_TOPOLOGY,
+    HOOK_TRANSPORT_APPLY,
+    TIER_NO_OVERBOOKING,
+    TIER_PRIMARY,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    control_plane_fingerprint,
+)
+from repro.scenarios import DIFFERENTIAL_FAMILY, decision_fingerprint, sample_scenario
+from repro.topology import operators
+from tests.differential.conftest import BASE_SEED
+
+#: Every (hook, kind) pair the fault matrix covers.  LINK_DOWN gets a
+#: fractional spec so any topology works.
+FAULT_MATRIX = [
+    (HOOK_SOLVER, FaultKind.TRANSIENT),
+    (HOOK_SOLVER, FaultKind.CRASH),
+    (HOOK_SOLVER, FaultKind.BUDGET),
+    (HOOK_FORECAST, FaultKind.CRASH),
+    (HOOK_RAN_APPLY, FaultKind.CRASH),
+    (HOOK_TRANSPORT_APPLY, FaultKind.CRASH),
+    (HOOK_CLOUD_APPLY, FaultKind.CRASH),
+    (HOOK_TOPOLOGY, FaultKind.LINK_DOWN),
+]
+
+#: Hooks whose crash faults fail the epoch (controller applies fire inside
+#: the commit path).  Everything else degrades and commits: solver faults
+#: are absorbed by the safeguard chain, forecast faults by the pessimistic
+#: fallback, link faults by re-homing.
+ROLLBACK_HOOKS = {HOOK_RAN_APPLY, HOOK_TRANSPORT_APPLY, HOOK_CLOUD_APPLY}
+
+
+def make_spec(hook: str, kind: FaultKind, epoch: int, times: int = 1) -> FaultSpec:
+    params = {"factor": 0.5, "fraction": 0.5} if kind is FaultKind.LINK_DOWN else {}
+    return FaultSpec(hook=hook, epoch=epoch, kind=kind, times=times, params=params)
+
+
+def make_chaos_broker(plan: FaultPlan) -> SliceBroker:
+    broker = SliceBroker(
+        topology=operators.testbed_topology(), solver=DirectMILPSolver()
+    )
+    broker.enable_chaos(plan)
+    broker.submit(SliceRequestV1.of("u1", "uRLLC", duration_epochs=6))
+    broker.submit(
+        SliceRequestV1.of("u2", "uRLLC", duration_epochs=4, arrival_epoch=1)
+    )
+    return broker
+
+
+def advance_with_invariant(broker: SliceBroker, epoch: int, max_attempts: int = 8):
+    """Advance one epoch, asserting the fault-matrix invariant.
+
+    Retries after byte-identical rollbacks (a fault spec with ``times > 1``
+    can fail several consecutive attempts) and returns the committing
+    report.
+    """
+    orchestrator = broker.orchestrator
+    for _ in range(max_attempts):
+        before = control_plane_fingerprint(orchestrator)
+        try:
+            report = broker.advance_epoch(epoch)
+        except BrokerError:
+            assert control_plane_fingerprint(orchestrator) == before, (
+                "a failed epoch must restore the pre-epoch control-plane state"
+            )
+            continue
+        fired = broker._fault_injector.fired_in_attempt()
+        if fired:
+            assert report.degraded, (
+                f"epoch {epoch} committed undegraded although {fired} fired"
+            )
+            assert report.degraded_reasons
+        if (
+            report.solver_tier == TIER_NO_OVERBOOKING
+            and broker.last_problem is not None
+        ):
+            oracle = NoOverbookingSolver().solve(broker.last_problem)
+            assert decision_fingerprint(broker.last_decision) == decision_fingerprint(
+                oracle
+            ), "no-overbooking-tier decisions must match the oracle bit for bit"
+        return report
+    pytest.fail(f"epoch {epoch} never committed within {max_attempts} attempts")
+
+
+class TestFastFaultMatrix:
+    @pytest.mark.parametrize(
+        "hook,kind", FAULT_MATRIX, ids=[f"{h}-{k.value}" for h, k in FAULT_MATRIX]
+    )
+    def test_every_fault_rolls_back_or_commits_degraded(self, hook, kind):
+        plan = FaultPlan.of(make_spec(hook, kind, epoch=1))
+        broker = make_chaos_broker(plan)
+        clean = broker.advance_epoch(0)
+        assert not clean.degraded and clean.health == "healthy"
+
+        orchestrator = broker.orchestrator
+        before = control_plane_fingerprint(orchestrator)
+        if hook in ROLLBACK_HOOKS:
+            with pytest.raises(SolverError):
+                broker.advance_epoch(1)
+            assert control_plane_fingerprint(orchestrator) == before
+            retry = broker.advance_epoch(1)
+            assert not retry.degraded
+            assert retry.health == "degraded"  # the rollback still counts
+            assert "u2" in retry.accepted + retry.rejected  # got its verdict
+        else:
+            report = broker.advance_epoch(1)
+            assert report.degraded
+            assert report.health != "healthy"
+            assert report.degraded_reasons
+            assert broker._fault_injector.fired_in_epoch(1)
+            if report.solver_tier == TIER_NO_OVERBOOKING:
+                oracle = NoOverbookingSolver().solve(broker.last_problem)
+                assert decision_fingerprint(
+                    broker.last_decision
+                ) == decision_fingerprint(oracle)
+
+    def test_single_transient_is_absorbed_by_the_retry_tier(self):
+        plan = FaultPlan.of(make_spec(HOOK_SOLVER, FaultKind.TRANSIENT, epoch=1))
+        broker = make_chaos_broker(plan)
+        broker.advance_epoch(0)
+        report = broker.advance_epoch(1)
+        assert report.solver_tier == TIER_PRIMARY
+        assert report.solver_retries == 1
+        assert report.degraded
+
+    def test_transient_storm_exhausts_retries_and_falls_back(self):
+        plan = FaultPlan.of(
+            make_spec(HOOK_SOLVER, FaultKind.TRANSIENT, epoch=1, times=3)
+        )
+        broker = make_chaos_broker(plan)
+        broker.advance_epoch(0)
+        report = broker.advance_epoch(1)
+        # u2 arrives at epoch 1, so the certified epoch-0 decision cannot be
+        # replayed (the request set changed): the chain lands on the
+        # no-overbooking tier.
+        assert report.solver_tier == TIER_NO_OVERBOOKING
+        assert report.solver_retries == 2
+        oracle = NoOverbookingSolver().solve(broker.last_problem)
+        assert decision_fingerprint(broker.last_decision) == decision_fingerprint(
+            oracle
+        )
+
+    def test_health_recovers_after_consecutive_clean_epochs(self):
+        plan = FaultPlan.of(make_spec(HOOK_SOLVER, FaultKind.CRASH, epoch=1))
+        broker = make_chaos_broker(plan)
+        broker.advance_epoch(0)
+        assert broker.advance_epoch(1).health == "degraded"
+        states = [broker.advance_epoch(epoch).health for epoch in range(2, 5)]
+        assert states[-1] == "healthy", states
+
+
+class TestZeroFaultIdentity:
+    def report_key(self, report) -> dict:
+        payload = report.to_dict()
+        payload.pop("solver_runtime_s")
+        return payload
+
+    def test_empty_plan_reproduces_an_uninstrumented_run(self):
+        def build(chaos: bool) -> SliceBroker:
+            broker = SliceBroker(
+                topology=operators.testbed_topology(), solver=DirectMILPSolver()
+            )
+            if chaos:
+                broker.enable_chaos(FaultPlan.empty())
+            broker.submit(SliceRequestV1.of("u1", "uRLLC", duration_epochs=4))
+            broker.submit(
+                SliceRequestV1.of("u2", "uRLLC", duration_epochs=3, arrival_epoch=1)
+            )
+            return broker
+
+        plain, chaos = build(False), build(True)
+        for epoch in range(5):
+            plain_report = plain.advance_epoch(epoch)
+            chaos_report = chaos.advance_epoch(epoch)
+            assert self.report_key(chaos_report) == self.report_key(plain_report)
+            assert decision_fingerprint(chaos.last_decision) == decision_fingerprint(
+                plain.last_decision
+            )
+        assert [s.to_dict() for s in chaos.list_slices()] == [
+            s.to_dict() for s in plain.list_slices()
+        ]
+
+
+def scenario_broker(scenario) -> SliceBroker:
+    """A chaos-ready broker loaded with one generated scenario's tenants.
+
+    The direct MILP keeps every sampled instance sub-second; the sweep
+    checks fault-handling invariants, not solver performance (the
+    differential shard owns Benders-vs-MILP equivalence).
+    """
+    broker = SliceBroker(topology=scenario.topology, solver=DirectMILPSolver())
+    broker.submit_batch([workload.request for workload in scenario.workloads])
+    broker.set_forecast_overrides(
+        {
+            workload.name: ForecastInput(
+                lambda_hat_mbps=0.4 * workload.request.sla_mbps, sigma_hat=0.25
+            )
+            for workload in scenario.workloads
+        }
+    )
+    return broker
+
+
+@pytest.mark.chaos
+class TestGeneratedFaultSweep:
+    @pytest.mark.parametrize("offset", range(4))
+    @pytest.mark.parametrize(
+        "hook,kind", FAULT_MATRIX, ids=[f"{h}-{k.value}" for h, k in FAULT_MATRIX]
+    )
+    def test_fault_matrix_on_generated_scenarios(self, offset, hook, kind):
+        seed = BASE_SEED + offset
+        scenario = sample_scenario(DIFFERENTIAL_FAMILY, seed=seed)
+        epoch = min(1, scenario.num_epochs - 1)
+        broker = scenario_broker(scenario)
+        broker.enable_chaos(FaultPlan.of(make_spec(hook, kind, epoch=epoch), seed=seed))
+        for current in range(scenario.num_epochs):
+            advance_with_invariant(broker, current)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_randomized_fault_schedules(self, data):
+        seed = BASE_SEED + data.draw(st.integers(0, 40), label="scenario offset")
+        scenario = sample_scenario(DIFFERENTIAL_FAMILY, seed=seed)
+        specs = []
+        for index in range(data.draw(st.integers(1, 3), label="num faults")):
+            hook, kind = data.draw(
+                st.sampled_from(FAULT_MATRIX), label=f"fault {index}"
+            )
+            epoch = data.draw(
+                st.integers(0, scenario.num_epochs - 1), label=f"epoch {index}"
+            )
+            times = data.draw(st.integers(1, 3), label=f"times {index}")
+            specs.append(make_spec(hook, kind, epoch=epoch, times=times))
+        broker = scenario_broker(scenario)
+        broker.enable_chaos(FaultPlan.of(*specs, seed=seed))
+        for epoch in range(scenario.num_epochs):
+            advance_with_invariant(broker, epoch)

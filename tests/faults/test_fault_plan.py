@@ -1,0 +1,157 @@
+"""FaultPlan DSL contract: validation, ordering, hashing, serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    ALL_HOOKS,
+    HOOK_CLOUD_APPLY,
+    HOOK_FORECAST,
+    HOOK_RAN_APPLY,
+    HOOK_SOLVER,
+    HOOK_TOPOLOGY,
+    HOOK_TRANSPORT_APPLY,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def link_down(epoch: int = 0, **params) -> FaultSpec:
+    params.setdefault("factor", 0.5)
+    params.setdefault("fraction", 0.5)
+    return FaultSpec(
+        hook=HOOK_TOPOLOGY, epoch=epoch, kind=FaultKind.LINK_DOWN, params=params
+    )
+
+
+class TestSpecValidation:
+    def test_unknown_hook_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown hook point"):
+            FaultSpec(hook="solver.bogus", epoch=0, kind=FaultKind.CRASH)
+
+    def test_negative_epoch_is_rejected(self):
+        with pytest.raises(ValueError, match="epoch"):
+            FaultSpec(hook=HOOK_SOLVER, epoch=-1, kind=FaultKind.CRASH)
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(hook=HOOK_SOLVER, epoch=0, kind=FaultKind.CRASH, times=0)
+
+    @pytest.mark.parametrize(
+        "kind,legal_hooks",
+        [
+            (FaultKind.TRANSIENT, {HOOK_SOLVER}),
+            (FaultKind.BUDGET, {HOOK_SOLVER}),
+            (
+                FaultKind.CRASH,
+                {
+                    HOOK_SOLVER,
+                    HOOK_RAN_APPLY,
+                    HOOK_TRANSPORT_APPLY,
+                    HOOK_CLOUD_APPLY,
+                    HOOK_FORECAST,
+                },
+            ),
+            (FaultKind.LINK_DOWN, {HOOK_TOPOLOGY}),
+        ],
+        ids=lambda value: value.value if isinstance(value, FaultKind) else "hooks",
+    )
+    def test_kind_hook_compatibility_matrix(self, kind, legal_hooks):
+        params = {"factor": 0.5, "fraction": 0.5} if kind is FaultKind.LINK_DOWN else {}
+        for hook in ALL_HOOKS:
+            if hook in legal_hooks:
+                FaultSpec(hook=hook, epoch=0, kind=kind, params=params)
+            else:
+                with pytest.raises(ValueError, match="cannot target hook"):
+                    FaultSpec(hook=hook, epoch=0, kind=kind, params=params)
+
+    @pytest.mark.parametrize("factor", [None, 0.0, 1.0, -0.1, "half"])
+    def test_link_down_factor_must_be_in_open_unit_interval(self, factor):
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(
+                hook=HOOK_TOPOLOGY,
+                epoch=0,
+                kind=FaultKind.LINK_DOWN,
+                params={"factor": factor, "fraction": 0.5},
+            )
+
+    @pytest.mark.parametrize("fraction", [None, 0.0, 1.5, -1])
+    def test_link_down_without_links_needs_valid_fraction(self, fraction):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultSpec(
+                hook=HOOK_TOPOLOGY,
+                epoch=0,
+                kind=FaultKind.LINK_DOWN,
+                params={"factor": 0.5, "fraction": fraction},
+            )
+
+    def test_link_down_with_explicit_links_needs_no_fraction(self):
+        spec = FaultSpec(
+            hook=HOOK_TOPOLOGY,
+            epoch=2,
+            kind=FaultKind.LINK_DOWN,
+            params={"factor": 0.25, "links": [["bs-0", "sw"]]},
+        )
+        assert spec.params["links"] == [["bs-0", "sw"]]
+
+    def test_kind_accepts_raw_strings(self):
+        spec = FaultSpec(hook=HOOK_SOLVER, epoch=0, kind="transient")
+        assert spec.kind is FaultKind.TRANSIENT
+
+
+class TestPlan:
+    def test_empty_plan_is_falsy_and_has_no_max_epoch(self):
+        plan = FaultPlan.empty()
+        assert not plan
+        assert plan.max_epoch == -1
+        assert plan.specs_for(HOOK_SOLVER, 0) == []
+
+    def test_specs_for_preserves_plan_order(self):
+        first = FaultSpec(hook=HOOK_SOLVER, epoch=1, kind=FaultKind.TRANSIENT, times=2)
+        second = FaultSpec(hook=HOOK_SOLVER, epoch=1, kind=FaultKind.CRASH)
+        other = FaultSpec(hook=HOOK_FORECAST, epoch=1, kind=FaultKind.CRASH)
+        plan = FaultPlan.of(first, other, second)
+        assert plan.specs_for(HOOK_SOLVER, 1) == [first, second]
+        assert plan.specs_for(HOOK_SOLVER, 0) == []
+        assert plan.max_epoch == 1
+
+    def test_round_trips_through_json(self):
+        plan = FaultPlan.of(
+            FaultSpec(hook=HOOK_SOLVER, epoch=0, kind=FaultKind.TRANSIENT, times=3),
+            link_down(epoch=2),
+            seed=17,
+        )
+        rebuilt = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt == plan
+        assert rebuilt.plan_hash() == plan.plan_hash()
+
+    def test_unsupported_schema_version_is_rejected(self):
+        payload = FaultPlan.empty().to_dict() | {"schema_version": 99}
+        with pytest.raises(ValueError, match="schema version"):
+            FaultPlan.from_dict(payload)
+
+    def test_missing_spec_field_is_a_value_error(self):
+        with pytest.raises(ValueError, match="missing field"):
+            FaultSpec.from_dict({"hook": HOOK_SOLVER, "kind": "crash"})
+
+    def test_plan_hash_is_content_based(self):
+        spec = FaultSpec(hook=HOOK_SOLVER, epoch=0, kind=FaultKind.CRASH)
+        assert FaultPlan.of(spec).plan_hash() == FaultPlan.of(spec).plan_hash()
+        # Sensitive to every ingredient: specs, their params, and the seed.
+        assert (
+            FaultPlan.of(spec, seed=1).plan_hash() != FaultPlan.of(spec).plan_hash()
+        )
+        assert (
+            FaultPlan.of(link_down(factor=0.5)).plan_hash()
+            != FaultPlan.of(link_down(factor=0.4)).plan_hash()
+        )
+
+    def test_hash_ignores_python_level_representation_details(self):
+        # A plan rebuilt from its own payload hashes identically, even though
+        # params dicts were re-created along the way.
+        plan = FaultPlan.of(link_down(epoch=1), seed=3)
+        assert FaultPlan.from_dict(plan.to_dict()).plan_hash() == plan.plan_hash()

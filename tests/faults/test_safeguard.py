@@ -1,0 +1,271 @@
+"""SafeguardedSolver chain and HealthMonitor state machine."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core.baseline import NoOverbookingSolver
+from repro.core.milp_solver import DirectMILPSolver
+from repro.core.problem import ACRRProblem
+from repro.core.solution import OrchestrationDecision, SolverStats, TenantAllocation
+from repro.faults import (
+    TIER_NO_OVERBOOKING,
+    TIER_PRIMARY,
+    TIER_REJECT_ALL,
+    TIER_WARM_REPLAY,
+    BrokerHealth,
+    HealthMonitor,
+    SafeguardedSolver,
+    SolverBudgetExceededError,
+    TransientSolverError,
+)
+from repro.scenarios import decision_fingerprint
+from repro.topology.generators import degrade_link_capacities
+from repro.topology.paths import compute_path_sets
+from tests.conftest import low_load_forecasts
+
+
+class FlakyPrimary:
+    """DirectMILPSolver wrapper that raises a scripted exception sequence."""
+
+    def __init__(self, failures=()):
+        self.inner = DirectMILPSolver()
+        self.failures = list(failures)
+        self.calls = 0
+
+    def solve(self, problem):
+        self.calls += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        return self.inner.solve(problem)
+
+
+class TestChainTiers:
+    def test_clean_solve_returns_the_primary_decision_untouched(self, mixed_problem):
+        returned = []
+
+        class Recording(FlakyPrimary):
+            def solve(self, problem):
+                decision = super().solve(problem)
+                returned.append(decision)
+                return decision
+
+        chain = SafeguardedSolver(Recording())
+        decision = chain.solve(mixed_problem)
+        # Identity, not equality: the chain must not even restamp the stats,
+        # so a zero-fault chained run is byte-identical to an unchained one.
+        assert decision is returned[0]
+        assert chain.health.state is BrokerHealth.HEALTHY
+
+    def test_transient_failure_is_retried_on_the_primary_tier(self, mixed_problem):
+        primary = FlakyPrimary([TransientSolverError("blip")])
+        chain = SafeguardedSolver(primary, max_retries=2)
+        decision = chain.solve(mixed_problem)
+        assert primary.calls == 2
+        assert decision.stats.tier == TIER_PRIMARY
+        assert decision.stats.retries == 1
+        assert chain.health.state is BrokerHealth.DEGRADED
+
+    def test_retry_exhaustion_matches_the_no_overbooking_oracle(self, mixed_problem):
+        primary = FlakyPrimary([TransientSolverError("blip")] * 3)
+        chain = SafeguardedSolver(primary, max_retries=2)
+        decision = chain.solve(mixed_problem)
+        assert primary.calls == 3
+        assert decision.stats.tier == TIER_NO_OVERBOOKING
+        assert decision.stats.retries == 2
+        assert "transient failures exhausted" in decision.stats.fallback_reason
+        oracle = NoOverbookingSolver().solve(mixed_problem)
+        assert decision_fingerprint(decision) == decision_fingerprint(oracle)
+
+    def test_budget_exhaustion_is_never_retried(self, mixed_problem):
+        primary = FlakyPrimary([SolverBudgetExceededError("no incumbent")])
+        chain = SafeguardedSolver(primary, max_retries=5)
+        decision = chain.solve(mixed_problem)
+        assert primary.calls == 1
+        assert decision.stats.tier == TIER_NO_OVERBOOKING
+
+    def test_crash_after_a_certified_solve_replays_it(self, mixed_problem):
+        primary = FlakyPrimary()
+        chain = SafeguardedSolver(primary)
+        certified = chain.solve(mixed_problem)
+        primary.failures = [RuntimeError("simplex caught fire")]
+        replayed = chain.solve(mixed_problem)
+        assert replayed.stats.tier == TIER_WARM_REPLAY
+        assert replayed.stats.message == "replayed last certified decision"
+        assert replayed.stats.iterations == 0
+        assert replayed.stats.runtime_s == 0.0
+        assert "simplex caught fire" in replayed.stats.fallback_reason
+        assert decision_fingerprint(replayed) == decision_fingerprint(certified)
+        assert chain.health.state is BrokerHealth.DEGRADED
+
+    def test_warm_replay_is_invalidated_by_topology_change(self, mixed_problem):
+        primary = FlakyPrimary()
+        chain = SafeguardedSolver(primary)
+        chain.solve(mixed_problem)
+        # Same requests, but the network lost capacity since certification:
+        # the certified reservations are no longer provably feasible.
+        damaged_topology = degrade_link_capacities(
+            copy.deepcopy(mixed_problem.topology), [("bs-0", "sw")], 0.5
+        )
+        damaged = ACRRProblem(
+            topology=damaged_topology,
+            path_set=compute_path_sets(damaged_topology, k=3),
+            requests=mixed_problem.requests,
+            forecasts={r.name: mixed_problem.forecast(r.name) for r in mixed_problem.requests},
+        )
+        primary.failures = [RuntimeError("crash")]
+        decision = chain.solve(damaged)
+        assert decision.stats.tier == TIER_NO_OVERBOOKING
+
+    def test_reject_all_when_the_baseline_drops_a_committed_slice(
+        self, tiny_topology, tiny_path_set, mixed_requests
+    ):
+        class DroppingBaseline:
+            def solve(self, problem):
+                return OrchestrationDecision(
+                    allocations={
+                        request.name: TenantAllocation(
+                            request=request, accepted=False, compute_unit=None
+                        )
+                        for request in problem.requests
+                    },
+                    objective_value=0.0,
+                    stats=SolverStats(solver="dropper"),
+                )
+
+        committed = [mixed_requests[0].as_committed()] + mixed_requests[1:3]
+        problem = ACRRProblem(
+            topology=tiny_topology,
+            path_set=tiny_path_set,
+            requests=committed,
+            forecasts=low_load_forecasts(committed),
+        )
+        chain = SafeguardedSolver(
+            FlakyPrimary([RuntimeError("crash")]), baseline=DroppingBaseline()
+        )
+        decision = chain.solve(problem)
+        assert decision.stats.tier == TIER_REJECT_ALL
+        assert "baseline dropped a committed slice" in decision.stats.fallback_reason
+        # Committed slices stay admitted with suspended reservations; every
+        # uncommitted request is rejected.
+        kept = decision.allocations[committed[0].name]
+        assert kept.accepted
+        assert kept.reservations_mbps == {}
+        for request in committed[1:]:
+            assert not decision.allocations[request.name].accepted
+        assert chain.health.state is BrokerHealth.SAFE_MODE
+
+    def test_safe_mode_skips_the_primary_until_the_probe(self, mixed_problem):
+        primary = FlakyPrimary()
+        chain = SafeguardedSolver(
+            primary, health=HealthMonitor(recovery_epochs=2, probe_interval=3)
+        )
+        chain.health.state = BrokerHealth.SAFE_MODE
+        # Two solves short of the probe go straight to reject-all.
+        for _ in range(2):
+            decision = chain.solve(mixed_problem)
+            assert decision.stats.tier == TIER_REJECT_ALL
+            assert "awaiting recovery probe" in decision.stats.fallback_reason
+        assert primary.calls == 0
+        # The third solve is the recovery probe: the primary runs, succeeds,
+        # and the chain leaves safe mode.
+        decision = chain.solve(mixed_problem)
+        assert primary.calls == 1
+        assert decision.stats.tier == TIER_PRIMARY
+        assert chain.health.state is BrokerHealth.DEGRADED
+
+    def test_max_retries_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SafeguardedSolver(FlakyPrimary(), max_retries=-1)
+
+
+class TestSnapshotRestore:
+    def test_certified_decision_survives_a_snapshot_round_trip(self, mixed_problem):
+        chain = SafeguardedSolver(FlakyPrimary())
+        certified = chain.solve(mixed_problem)
+        snapshot = chain.snapshot_state()
+        assert snapshot["certified"] is not None
+
+        fresh = SafeguardedSolver(FlakyPrimary([RuntimeError("crash")]))
+        fresh.restore_state(snapshot)
+        replayed = fresh.solve(mixed_problem)
+        assert replayed.stats.tier == TIER_WARM_REPLAY
+        assert decision_fingerprint(replayed) == decision_fingerprint(certified)
+
+    def test_restoring_none_is_a_no_op(self, mixed_problem):
+        chain = SafeguardedSolver(FlakyPrimary())
+        chain.solve(mixed_problem)
+        chain.restore_state(None)
+        assert chain.snapshot_state()["certified"] is not None
+
+
+class TestHealthMonitor:
+    def test_constructor_validates_parameters(self):
+        with pytest.raises(ValueError, match="recovery_epochs"):
+            HealthMonitor(recovery_epochs=0)
+        with pytest.raises(ValueError, match="probe_interval"):
+            HealthMonitor(probe_interval=0)
+
+    def test_non_primary_tier_degrades(self):
+        monitor = HealthMonitor()
+        monitor.note_outcome(TIER_WARM_REPLAY, degraded=True)
+        assert monitor.state is BrokerHealth.DEGRADED
+
+    def test_degraded_primary_epoch_degrades(self):
+        monitor = HealthMonitor()
+        monitor.note_outcome(TIER_PRIMARY, degraded=True)
+        assert monitor.state is BrokerHealth.DEGRADED
+
+    def test_recovery_needs_consecutive_clean_primary_epochs(self):
+        monitor = HealthMonitor(recovery_epochs=3)
+        monitor.note_outcome(TIER_NO_OVERBOOKING, degraded=True)
+        for _ in range(2):
+            monitor.note_outcome(TIER_PRIMARY, degraded=False)
+            assert monitor.state is BrokerHealth.DEGRADED
+        monitor.note_outcome(TIER_PRIMARY, degraded=False)
+        assert monitor.state is BrokerHealth.HEALTHY
+
+    def test_a_degraded_epoch_resets_the_clean_streak(self):
+        monitor = HealthMonitor(recovery_epochs=2)
+        monitor.note_outcome(TIER_NO_OVERBOOKING, degraded=True)
+        monitor.note_outcome(TIER_PRIMARY, degraded=False)
+        monitor.note_outcome(TIER_PRIMARY, degraded=True)
+        monitor.note_outcome(TIER_PRIMARY, degraded=False)
+        assert monitor.state is BrokerHealth.DEGRADED
+
+    def test_reject_all_enters_safe_mode(self):
+        monitor = HealthMonitor()
+        monitor.note_outcome(TIER_REJECT_ALL, degraded=True)
+        assert monitor.state is BrokerHealth.SAFE_MODE
+
+    def test_probe_cadence_in_safe_mode(self):
+        monitor = HealthMonitor(probe_interval=4)
+        monitor.note_outcome(TIER_REJECT_ALL, degraded=True)
+        assert [monitor.should_probe() for _ in range(8)] == [
+            False, False, False, True, False, False, False, True,
+        ]
+
+    def test_should_probe_is_always_true_outside_safe_mode(self):
+        monitor = HealthMonitor(probe_interval=4)
+        assert all(monitor.should_probe() for _ in range(6))
+        monitor.note_outcome(TIER_PRIMARY, degraded=True)
+        assert all(monitor.should_probe() for _ in range(6))
+
+    def test_successful_probe_re_enters_degraded_then_recovers(self):
+        monitor = HealthMonitor(recovery_epochs=2, probe_interval=1)
+        monitor.note_outcome(TIER_REJECT_ALL, degraded=True)
+        monitor.note_outcome(TIER_PRIMARY, degraded=False)
+        assert monitor.state is BrokerHealth.DEGRADED
+        monitor.note_outcome(TIER_PRIMARY, degraded=False)
+        assert monitor.state is BrokerHealth.HEALTHY
+
+    def test_failed_epoch_degrades_and_resets_the_streak(self):
+        monitor = HealthMonitor(recovery_epochs=2)
+        assert monitor.state is BrokerHealth.HEALTHY
+        monitor.note_failed_epoch()
+        assert monitor.state is BrokerHealth.DEGRADED
+        monitor.note_outcome(TIER_PRIMARY, degraded=False)
+        monitor.note_failed_epoch()
+        assert monitor.clean_streak == 0

@@ -1,0 +1,186 @@
+"""The ``failure`` scenario family: knobs, hash neutrality, sampled episodes.
+
+The four link-failure knobs are hash-neutral when inert
+(``link_failure_probability == 0``): every pre-existing family must keep its
+``family_hash`` -- and therefore every already-pinned sampled scenario --
+byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.benders import BendersSolver
+from repro.scenarios import (
+    DIFFERENTIAL_FAMILY,
+    FAILURE_FAMILY,
+    FAMILIES,
+    ScenarioFamily,
+    sample_scenario,
+    scenario_payload,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scenario import LinkFailureEvent
+from tests.differential.conftest import BASE_SEED, seed_note
+
+
+class TestKnobValidation:
+    def test_probability_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError, match="link_failure_probability"):
+            ScenarioFamily(link_failure_probability=1.5)
+
+    def test_reversed_ranges_rejected(self):
+        with pytest.raises(ValueError, match="failed_link_fraction"):
+            ScenarioFamily(failed_link_fraction=(0.5, 0.2))
+        with pytest.raises(ValueError, match="link_failure_window"):
+            ScenarioFamily(link_failure_window=(0.9, 0.1))
+
+    def test_factor_must_stay_below_one(self):
+        # factor == 1 would be a no-op "failure"; the family refuses it so a
+        # failure scenario always actually loses capacity.
+        with pytest.raises(ValueError, match="stay below 1"):
+            ScenarioFamily(link_failure_factor=(0.5, 1.0))
+
+
+class TestHashNeutrality:
+    def test_inert_knobs_are_absent_from_the_payload(self):
+        assert "link_failure_probability" not in DIFFERENTIAL_FAMILY.as_dict()
+        assert "link_failure_probability" in FAILURE_FAMILY.as_dict()
+
+    def test_changing_inert_knobs_keeps_the_family_hash(self):
+        # Documented behaviour: with probability 0 the other three knobs are
+        # dead parameters, dropped from the canonical payload so the
+        # already-pinned hashes of the pre-existing families never move.
+        tweaked = replace(DIFFERENTIAL_FAMILY, link_failure_factor=(0.3, 0.5))
+        assert tweaked.family_hash == DIFFERENTIAL_FAMILY.family_hash
+
+    def test_arming_the_probability_changes_the_hash(self):
+        armed = replace(DIFFERENTIAL_FAMILY, link_failure_probability=0.5)
+        assert armed.family_hash != DIFFERENTIAL_FAMILY.family_hash
+        assert "link_failure_factor" in armed.as_dict()
+
+    def test_inert_families_sample_identical_scenarios(self):
+        tweaked = replace(DIFFERENTIAL_FAMILY, link_failure_factor=(0.3, 0.5))
+        assert scenario_payload(
+            sample_scenario(tweaked, seed=BASE_SEED)
+        ) == scenario_payload(sample_scenario(DIFFERENTIAL_FAMILY, seed=BASE_SEED))
+
+    def test_failure_family_is_registered(self):
+        assert FAMILIES["link-failure"] is FAILURE_FAMILY
+
+    def test_failure_family_round_trips(self):
+        rebuilt = ScenarioFamily.from_dict(FAILURE_FAMILY.as_dict())
+        assert rebuilt == FAILURE_FAMILY
+        assert rebuilt.family_hash == FAILURE_FAMILY.family_hash
+
+
+class TestSampledEpisodes:
+    @pytest.mark.parametrize("offset", range(10))
+    def test_episodes_respect_the_declared_ranges(self, offset):
+        seed = BASE_SEED + offset
+        scenario = sample_scenario(FAILURE_FAMILY, seed=seed)
+        note = seed_note(seed)
+        assert len(scenario.link_failures) == 1, note
+        event = scenario.link_failures[0]
+        # Never epoch 0 (there is nothing to displace yet) and never past
+        # the horizon.
+        assert 1 <= event.epoch <= scenario.num_epochs - 1, note
+        factor_lo, factor_hi = FAILURE_FAMILY.link_failure_factor
+        assert factor_lo <= event.capacity_factor <= factor_hi, note
+        link_keys = {link.key for link in scenario.topology.links}
+        assert set(event.links) <= link_keys, note
+        fraction_lo, fraction_hi = FAILURE_FAMILY.failed_link_fraction
+        assert 1 <= len(event.links) <= len(link_keys), note
+
+    def test_payload_has_link_failures_key_only_when_armed(self):
+        armed = scenario_payload(sample_scenario(FAILURE_FAMILY, seed=BASE_SEED))
+        inert = scenario_payload(sample_scenario(DIFFERENTIAL_FAMILY, seed=BASE_SEED))
+        assert "link_failures" in armed
+        assert "link_failures" not in inert
+        episode = armed["link_failures"][0]
+        assert set(episode) == {"epoch", "links", "capacity_factor"}
+
+
+class TestEventValidation:
+    def test_event_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="epoch"):
+            LinkFailureEvent(epoch=-1, links=(("a", "b"),), capacity_factor=0.5)
+        with pytest.raises(ValueError, match="link"):
+            LinkFailureEvent(epoch=1, links=(), capacity_factor=0.5)
+        with pytest.raises(ValueError, match="factor"):
+            LinkFailureEvent(epoch=1, links=(("a", "b"),), capacity_factor=1.0)
+
+    def test_event_normalises_link_keys(self):
+        event = LinkFailureEvent(
+            epoch=1, links=(("sw", "bs-0"),), capacity_factor=0.5
+        )
+        assert event.links == (("bs-0", "sw"),)
+
+    def test_scenario_rejects_out_of_horizon_episodes(self):
+        base = sample_scenario(FAILURE_FAMILY, seed=BASE_SEED)
+        bad = LinkFailureEvent(
+            epoch=base.num_epochs, links=base.link_failures[0].links,
+            capacity_factor=0.5,
+        )
+        with pytest.raises(ValueError, match="horizon"):
+            replace(base, link_failures=(bad,))
+
+    def test_scenario_rejects_unknown_links(self):
+        base = sample_scenario(FAILURE_FAMILY, seed=BASE_SEED)
+        bad = LinkFailureEvent(
+            epoch=1, links=(("ghost", "sw"),), capacity_factor=0.5
+        )
+        with pytest.raises(ValueError, match="unknown links"):
+            replace(base, link_failures=(bad,))
+
+
+class TestEngineIntegration:
+    def test_engine_damages_a_private_copy_not_the_scenario(self):
+        scenario = sample_scenario(FAILURE_FAMILY, seed=0)
+        pristine = {
+            link.key: link.capacity_mbps for link in scenario.topology.links
+        }
+        engine = SimulationEngine(scenario, BendersSolver())
+        engine.run()
+        assert {
+            link.key: link.capacity_mbps for link in scenario.topology.links
+        } == pristine
+        event = scenario.link_failures[0]
+        for key in event.links:
+            damaged = engine.topology.link(*key).capacity_mbps
+            assert damaged == pytest.approx(pristine[key] * event.capacity_factor)
+
+    def test_known_seed_displaces_and_rehomes_a_slice(self):
+        # Pinned during development: seed 0 samples a 5-epoch, 3-tenant
+        # scenario whose epoch-1 outage displaces uRLLC-1.
+        scenario = sample_scenario(FAILURE_FAMILY, seed=0)
+        engine = SimulationEngine(scenario, BendersSolver())
+        engine.run()
+        registry = engine.broker.orchestrator.registry
+        rehomed = {
+            record.name: record.request.metadata["rehomed_at_epoch"]
+            for record in registry.all_records()
+            if "rehomed_at_epoch" in record.request.metadata
+        }
+        assert rehomed == {"uRLLC-1": 1}
+        assert registry.renewal_count("uRLLC-1") >= 1
+
+    def test_two_engines_on_one_scenario_agree(self):
+        scenario = sample_scenario(FAILURE_FAMILY, seed=0)
+        results = [
+            SimulationEngine(scenario, BendersSolver()).run() for _ in range(2)
+        ]
+        assert results[0].final_admitted == results[1].final_admitted
+        assert results[0].net_revenue == pytest.approx(results[1].net_revenue)
+
+
+def test_episodes_can_be_replaced_with_any_valid_links():
+    # A scenario's failure episodes are plain data: swapping in a hand-built
+    # episode works as long as the links exist in its topology.
+    base = sample_scenario(FAILURE_FAMILY, seed=BASE_SEED)
+    key = sorted(link.key for link in base.topology.links)[0]
+    event = LinkFailureEvent(epoch=1, links=(key,), capacity_factor=0.01)
+    swapped = replace(base, link_failures=(event,))
+    assert swapped.link_failures == (event,)
