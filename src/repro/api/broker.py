@@ -636,6 +636,7 @@ class SliceBroker:
             solver_optimal=stats.optimal,
             solver_warm_cuts=stats.cuts_warm,
             solver_message=stats.message,
+            solver_time_truncated=getattr(stats, "time_truncated", False),
             events=tuple(events),
             degraded=degraded,
             solver_tier=tier,

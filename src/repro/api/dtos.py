@@ -402,6 +402,11 @@ class EpochReport:
     solver_optimal: bool = True
     solver_warm_cuts: int = 0
     solver_message: str = ""
+    #: True when the solver hit its wall-clock budget and returned its best
+    #: incumbent without an optimality certificate (distinct from
+    #: ``solver_optimal``, which can also be False for a clean gap-limited
+    #: stop); consumers should treat such a decision as provisional.
+    solver_time_truncated: bool = False
     events: tuple[LifecycleEvent, ...] = ()
     degraded: bool = False
     solver_tier: str = "primary"
@@ -428,6 +433,7 @@ class EpochReport:
                 "solver_optimal": self.solver_optimal,
                 "solver_warm_cuts": self.solver_warm_cuts,
                 "solver_message": self.solver_message,
+                "solver_time_truncated": self.solver_time_truncated,
                 "events": [event.to_dict() for event in self.events],
                 "degraded": self.degraded,
                 "solver_tier": self.solver_tier,
@@ -476,6 +482,9 @@ class EpochReport:
                 solver_optimal=bool(payload.get("solver_optimal", True)),
                 solver_warm_cuts=int(payload.get("solver_warm_cuts", 0)),
                 solver_message=str(payload.get("solver_message", "")),
+                solver_time_truncated=bool(
+                    payload.get("solver_time_truncated", False)
+                ),
                 events=events,
                 degraded=bool(payload.get("degraded", False)),
                 solver_tier=str(payload.get("solver_tier", "primary")),

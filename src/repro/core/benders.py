@@ -60,27 +60,43 @@ class _MasterState:
     """Incremental Benders master: static skeleton plus a growing cut matrix.
 
     The master MILP of Problem 5 changes between iterations only by the cuts
-    appended at the bottom, so the per-problem structure -- the objective over
-    ``(x, theta)``, the bounds/integrality vectors and the hstacked
-    path-selection block -- is assembled exactly once, and the accumulated
-    cuts live in one growing CSR matrix (one ``vstack`` of a single row per
-    iteration) instead of one :class:`scipy.optimize.LinearConstraint` per
-    cut per solve.
+    appended at the bottom, so the per-problem structure -- the objective
+    over ``(x, theta_0..theta_{B-1})``, the bounds/integrality vectors and
+    the hstacked path-selection block -- is assembled exactly once.  Cut rows
+    are accumulated in a pending list and stacked lazily: ``cut_rows()`` /
+    ``constraints()`` fold the pending batch into the cached CSR matrix with
+    a single ``vstack`` per master solve, so a solve that adds k cuts costs
+    O(k) row builds plus one stack instead of the O(k^2) repeated
+    re-stacking a per-``add_cut`` ``vstack`` would pay.
+
+    ``theta_lowers`` carries one lower bound per surrogate: the classic
+    single-cut master has exactly one surrogate, the multi-cut master one
+    per slave block, with the *sum* of the surrogates standing in for the
+    slave cost in the objective.
     """
 
-    def __init__(self, problem: ACRRProblem, cost_x: np.ndarray, theta_lower: float):
+    def __init__(
+        self,
+        problem: ACRRProblem,
+        cost_x: np.ndarray,
+        theta_lowers: np.ndarray,
+    ):
         n = problem.num_items
+        theta_lowers = np.atleast_1d(np.asarray(theta_lowers, dtype=float))
+        num_thetas = len(theta_lowers)
         self.num_items = n
-        self.cost = np.concatenate([cost_x, [1.0]])
-        self.lower = np.concatenate([np.zeros(n), [theta_lower]])
-        self.upper = np.concatenate([np.ones(n), [np.inf]])
-        self.integrality = np.concatenate([np.ones(n), [0.0]])
+        self.num_thetas = num_thetas
+        self.theta_lowers = theta_lowers
+        self.cost = np.concatenate([cost_x, np.ones(num_thetas)])
+        self.lower = np.concatenate([np.zeros(n), theta_lowers])
+        self.upper = np.concatenate([np.ones(n), np.full(num_thetas, np.inf)])
+        self.integrality = np.concatenate([np.ones(n), np.zeros(num_thetas)])
 
         selection = problem.selection_block()
         self.selection_constraint: optimize.LinearConstraint | None = None
         if selection.num_rows:
             sel_matrix = sparse.hstack(
-                [selection.a_x, sparse.csr_matrix((selection.num_rows, 1))],
+                [selection.a_x, sparse.csr_matrix((selection.num_rows, num_thetas))],
                 format="csr",
             )
             self.selection_constraint = optimize.LinearConstraint(
@@ -109,46 +125,66 @@ class _MasterState:
         footprint = capacity.a_x + capacity.a_z.multiply(floor[np.newaxis, :])
         self.capacity_surrogate = optimize.LinearConstraint(
             sparse.hstack(
-                [footprint, sparse.csr_matrix((capacity.num_rows, 1))], format="csr"
+                [footprint, sparse.csr_matrix((capacity.num_rows, num_thetas))],
+                format="csr",
             ),
             capacity.lower,
             capacity.upper,
         )
 
         self._cut_matrix: sparse.csr_matrix | None = None
+        self._pending_rows: list[sparse.csr_matrix] = []
         self._cut_rhs: list[float] = []
 
     @property
     def num_cuts(self) -> int:
         return len(self._cut_rhs)
 
-    def add_cut(self, coefficients: np.ndarray, rhs: float, is_optimality: bool) -> None:
-        """Append one cut ``coeff' x (+ theta) >= rhs`` to the pool."""
-        theta_coeff = 1.0 if is_optimality else 0.0
+    def add_cut(
+        self,
+        coefficients: np.ndarray,
+        rhs: float,
+        is_optimality: bool,
+        theta_indices: tuple[int, ...] | None = None,
+    ) -> None:
+        """Append one cut ``coeff' x (+ sum of thetas) >= rhs`` to the pool.
+
+        ``theta_indices`` selects which surrogates an optimality cut bounds:
+        ``None`` means all of them (the aggregate cut; the classic single-cut
+        master has exactly one), a single index means a per-block cut.
+        Feasibility cuts never involve the surrogates.  The row is only
+        *queued* here; stacking happens lazily in :meth:`cut_rows`.
+        """
+        theta_part = np.zeros(self.num_thetas)
+        if is_optimality:
+            if theta_indices is None:
+                theta_part[:] = 1.0
+            else:
+                theta_part[list(theta_indices)] = 1.0
         row = sparse.csr_matrix(
-            np.concatenate([coefficients, [theta_coeff]]).reshape(1, -1)
+            np.concatenate([coefficients, theta_part]).reshape(1, -1)
         )
-        if self._cut_matrix is None:
-            self._cut_matrix = row
-        else:
-            self._cut_matrix = sparse.vstack([self._cut_matrix, row], format="csr")
+        self._pending_rows.append(row)
         self._cut_rhs.append(rhs)
 
     def cut_rows(self) -> tuple[sparse.csr_matrix | None, np.ndarray]:
-        """The accumulated cut matrix over (x, theta) and its RHS vector."""
+        """The accumulated cut matrix over (x, thetas) and its RHS vector."""
+        if self._pending_rows:
+            stack = self._pending_rows
+            if self._cut_matrix is not None:
+                stack = [self._cut_matrix, *stack]
+            self._cut_matrix = sparse.vstack(stack, format="csr")
+            self._pending_rows = []
         return self._cut_matrix, np.asarray(self._cut_rhs)
 
     def constraints(self) -> list[optimize.LinearConstraint]:
         constraints: list[optimize.LinearConstraint] = [self.capacity_surrogate]
         if self.selection_constraint is not None:
             constraints.append(self.selection_constraint)
-        if self._cut_matrix is not None:
+        cut_matrix, cut_rhs = self.cut_rows()
+        if cut_matrix is not None:
             constraints.append(
-                optimize.LinearConstraint(
-                    self._cut_matrix,
-                    lb=np.asarray(self._cut_rhs),
-                    ub=np.inf,
-                )
+                optimize.LinearConstraint(cut_matrix, lb=cut_rhs, ub=np.inf)
             )
         return constraints
 
@@ -176,8 +212,13 @@ class _PoolEntry:
     """Stored warm-start state of one problem structure."""
 
     num_rows: int
-    #: Dual multipliers of past cuts, each paired with its cut family.
-    multipliers: list[tuple[np.ndarray, bool]] = field(default_factory=list)
+    #: Dual multipliers of past cuts as ``(mu, is_optimality, block_id)``
+    #: triples; ``block_id`` is ``None`` for aggregate (full-system) cuts
+    #: and a slave block index for multi-cut block cuts, whose multipliers
+    #: span only that block's rows and re-validate against the block system.
+    multipliers: list[tuple[np.ndarray, bool, int | None]] = field(
+        default_factory=list
+    )
     #: Admission vector of the last incumbent under this structure.
     best_x: np.ndarray | None = None
     #: Byte-level fingerprint of the exact instance ``best_x`` came from:
@@ -259,29 +300,78 @@ class CutPool:
                 return 0, entry.best_x, entry.instance_token
             return 0, None, None
 
-        mu_matrix = np.stack([mu for mu, _ in entry.multipliers])
-        # (k x 2n) dual slack basis: row i is G' mu_i.
-        gt_mu = np.asarray((slave.g_matrix.T.dot(mu_matrix.T)).T)
-        coeffs = np.asarray((slave.h_matrix.T.dot(mu_matrix.T)).T)
-        rhs = -mu_matrix.dot(slave.h0)
         # Implied bounds of any feasible slave point: 0 <= (y, z) <= sla.
         sla = np.array([item.sla_mbps for item in slave.problem.items])
         u_bound = np.concatenate([sla, sla])
-        d = slave.d
+
+        # Block cuts re-validate against their block's own system; they are
+        # only seedable into a master that actually carries that block's
+        # surrogate (a multi-cut master over the same block structure).
+        blocks = None
+        if any(block_id is not None for _, _, block_id in entry.multipliers):
+            candidate = slave.blocks()
+            if master.num_thetas == len(candidate):
+                blocks = candidate
+
+        # Batch the re-validation linear algebra per system (the aggregate
+        # system and each referenced block), then emit cuts in their
+        # original storage order so repeated solves of an identical
+        # instance build identical master problems.
+        groups: dict[int | None, list[int]] = {}
+        for position, (_, _, block_id) in enumerate(entry.multipliers):
+            groups.setdefault(block_id, []).append(position)
+
+        prepared: dict[int, tuple[np.ndarray, np.ndarray, float] | None] = {}
+        for block_id, positions in groups.items():
+            if block_id is None:
+                system_d, system_g = slave.d, slave.g_matrix
+                system_h, system_h0, bound = slave.h_matrix, slave.h0, u_bound
+                expected_rows = num_rows
+            elif blocks is not None and 0 <= block_id < len(blocks):
+                block = blocks[block_id]
+                system_d, system_g = block.d, block.g_matrix
+                system_h, system_h0, bound = block.h_matrix, block.h0, block.u_bound
+                expected_rows = len(block.rows)
+            else:
+                for position in positions:
+                    prepared[position] = None
+                continue
+            usable = [
+                p for p in positions if len(entry.multipliers[p][0]) == expected_rows
+            ]
+            for position in set(positions) - set(usable):
+                prepared[position] = None
+            if not usable:
+                continue
+            mu_matrix = np.stack([entry.multipliers[p][0] for p in usable])
+            # (k x cols) dual slack basis: row i is G' mu_i.
+            gt_mu = np.asarray((system_g.T.dot(mu_matrix.T)).T)
+            coeffs = np.asarray((system_h.T.dot(mu_matrix.T)).T)
+            rhs = -mu_matrix.dot(system_h0)
+            for row, position in enumerate(usable):
+                _, is_optimality, _ = entry.multipliers[position]
+                violation = np.maximum(
+                    0.0,
+                    -(gt_mu[row] + system_d) if is_optimality else -gt_mu[row],
+                )
+                repair = float(np.dot(violation, bound))
+                prepared[position] = (coeffs[row], float(rhs[row]) - repair, repair)
 
         seeded = 0
-        for position, (mu, is_optimality) in enumerate(entry.multipliers):
-            slack_basis = gt_mu[position]
-            violation = np.maximum(
-                0.0, -(slack_basis + d) if is_optimality else -slack_basis
+        for position, (_, is_optimality, block_id) in enumerate(entry.multipliers):
+            ready = prepared.get(position)
+            if ready is None:
+                self.dropped_total += 1
+                continue
+            coeff, rhs_value, repair = ready
+            cut_scale = max(
+                1.0, abs(rhs_value + repair), float(np.max(np.abs(coeff)))
             )
-            repair = float(np.dot(violation, u_bound))
-            coeff = coeffs[position]
-            cut_scale = max(1.0, abs(float(rhs[position])), float(np.max(np.abs(coeff))))
             if repair > self.max_relative_slack * cut_scale:
                 self.dropped_total += 1
                 continue
-            master.add_cut(coeff, float(rhs[position]) - repair, is_optimality)
+            theta_indices = None if block_id is None else (block_id,)
+            master.add_cut(coeff, rhs_value, is_optimality, theta_indices)
             seeded += 1
         self.seeded_total += seeded
         return seeded, entry.best_x, entry.instance_token
@@ -290,12 +380,17 @@ class CutPool:
         self,
         key: tuple,
         num_rows: int,
-        new_multipliers: list[tuple[np.ndarray, bool]],
+        new_multipliers: "list[tuple]",
         best_x: np.ndarray | None,
         instance_token: bytes | None = None,
         stats: SolverStats | None = None,
     ) -> None:
-        """Append one solve's freshly generated multipliers and incumbent."""
+        """Append one solve's freshly generated multipliers and incumbent.
+
+        Multipliers are ``(mu, is_optimality)`` pairs (aggregate cuts) or
+        ``(mu, is_optimality, block_id)`` triples; pairs normalise to an
+        aggregate ``block_id`` of ``None``.
+        """
         entry = self._entries.get(key)
         if entry is None or entry.num_rows != num_rows:
             entry = _PoolEntry(num_rows=num_rows)
@@ -304,7 +399,8 @@ class CutPool:
             while len(self._entries) > self.max_structures:
                 self._entries.pop(next(iter(self._entries)))
         entry.multipliers.extend(
-            (np.array(mu), is_optimality) for mu, is_optimality in new_multipliers
+            (np.array(item[0]), item[1], item[2] if len(item) > 2 else None)
+            for item in new_multipliers
         )
         if len(entry.multipliers) > self.max_cuts_per_structure:
             del entry.multipliers[: len(entry.multipliers) - self.max_cuts_per_structure]
@@ -381,6 +477,8 @@ class BendersSolver:
         time_limit_s: float | None = 120.0,
         warm_start: bool = True,
         cut_pool: CutPool | None = None,
+        multi_cut: bool = False,
+        executor=None,
     ):
         """Configure the decomposition.
 
@@ -399,6 +497,17 @@ class BendersSolver:
         Warm starts only ever add *valid* inequalities and an incumbent
         bound, so decisions are identical to cold solves (asserted by the
         differential warm-start sweep); disable for raw-latency baselines.
+
+        ``multi_cut`` disaggregates the slave by per-tenant resource block
+        (see :meth:`SlaveProblem.blocks`): every master round prices each
+        block independently and adds one optimality cut per block on its own
+        surrogate ``theta_b`` *in addition to* the classic aggregate cut, so
+        the master lower bound tightens much faster while keeping the exact
+        certificate the aggregate cut carries.  Block LPs are independent
+        deterministic solves fanned out over ``executor`` (an object with
+        the :mod:`repro.utils.executors` ``map`` contract; ``None`` prices
+        blocks serially) in deterministic block order, so decisions are
+        bit-identical for any worker count.
         """
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
@@ -411,6 +520,8 @@ class BendersSolver:
         self.max_iterations = max_iterations
         self.master_time_limit_s = master_time_limit_s
         self.time_limit_s = time_limit_s
+        self.multi_cut = multi_cut
+        self.executor = executor
         if cut_pool is not None:
             self.cut_pool: CutPool | None = cut_pool
         else:
@@ -433,15 +544,15 @@ class BendersSolver:
         start = time.perf_counter()
         slave = SlaveProblem(problem)
         cost_x = problem.objective_x()
-        theta_lower = slave.objective_lower_bound()
+        theta_lowers = self._theta_lowers(slave)
 
         pool_key: tuple | None = None
         instance_token: bytes | None = None
         if self.cut_pool is not None:
             pool_key = warm_start_key(problem)
-            instance_token = self._instance_token(slave, cost_x, theta_lower)
+            instance_token = self._instance_token(slave, cost_x, theta_lowers)
             fast = self._warm_fast_path(
-                problem, slave, cost_x, theta_lower, pool_key, instance_token, start
+                problem, slave, cost_x, theta_lowers, pool_key, instance_token, start
             )
             if fast is not None:
                 return fast
@@ -449,7 +560,8 @@ class BendersSolver:
         # Cold path.  Deliberately untouched by warm-start state: when the
         # fast path misses, the trajectory below is bit-identical to a
         # ``warm_start=False`` solver, cuts, candidates, incumbent and all.
-        master_state = _MasterState(problem, cost_x, theta_lower)
+        master_state = _MasterState(problem, cost_x, theta_lowers)
+        blocks = slave.blocks() if self.multi_cut else []
         upper_bound = float("inf")
         lower_bound = -float("inf")
         best_x: np.ndarray | None = None
@@ -458,7 +570,7 @@ class BendersSolver:
         feasibility_cuts = 0
         iterations = 0
         time_truncated = False
-        new_multipliers: list[tuple[np.ndarray, bool]] = []
+        new_multipliers: list[tuple[np.ndarray, bool, int | None]] = []
 
         for iteration in range(1, self.max_iterations + 1):
             iterations = iteration
@@ -468,7 +580,7 @@ class BendersSolver:
                     "Benders master problem became infeasible; the committed "
                     "slices cannot be accommodated (enable allow_deficit)"
                 )
-            x_candidate, theta, master_objective = master
+            x_candidate, _thetas, master_objective = master
             lower_bound = master_objective
 
             outcome = slave.evaluate(x_candidate)
@@ -480,13 +592,56 @@ class BendersSolver:
                     best_z = outcome.z
                 coeff, rhs = slave.cut_from_multipliers(outcome.duals)
                 master_state.add_cut(coeff, rhs, is_optimality=True)
-                new_multipliers.append((outcome.duals, True))
+                new_multipliers.append((outcome.duals, True, None))
                 optimality_cuts += 1
             else:
                 coeff, rhs = slave.cut_from_multipliers(outcome.ray)
                 master_state.add_cut(coeff, rhs, is_optimality=False)
-                new_multipliers.append((outcome.ray, False))
+                new_multipliers.append((outcome.ray, False, None))
                 feasibility_cuts += 1
+
+            if self.multi_cut:
+                # Per-block strengthening cuts on the same candidate.  Each
+                # block prices the tenant's relaxed sub-LP, so its cut is a
+                # valid lower bound on theta_b (q(x) >= sum_b q_b(x), see
+                # SlaveBlock); the aggregate cut above keeps the certificate
+                # exact where blocks compete for shared capacity.  Block
+                # solves are independent; results come back in block order
+                # whatever the executor, so the cut sequence -- and with it
+                # the decision -- is bit-identical for any worker count.
+                block_outcomes = slave.evaluate_blocks(
+                    x_candidate, executor=self.executor
+                )
+                for block, block_outcome in zip(blocks, block_outcomes):
+                    if block_outcome.feasible:
+                        if not outcome.feasible:
+                            # Block bounds are only recorded alongside a
+                            # successful aggregate solve; an infeasible
+                            # aggregate keeps the round's focus on the
+                            # feasibility cut.
+                            continue
+                        coeff, rhs = slave.cut_from_block_multipliers(
+                            block, block_outcome.duals
+                        )
+                        master_state.add_cut(
+                            coeff, rhs, is_optimality=True,
+                            theta_indices=(block.index,),
+                        )
+                        new_multipliers.append(
+                            (block_outcome.duals, True, block.index)
+                        )
+                        optimality_cuts += 1
+                    else:
+                        # A block-infeasible candidate is infeasible for the
+                        # joint slave too; the block ray excludes it.
+                        coeff, rhs = slave.cut_from_block_multipliers(
+                            block, block_outcome.ray
+                        )
+                        master_state.add_cut(coeff, rhs, is_optimality=False)
+                        new_multipliers.append(
+                            (block_outcome.ray, False, block.index)
+                        )
+                        feasibility_cuts += 1
 
             if np.isfinite(upper_bound):
                 gap_target = max(
@@ -510,15 +665,21 @@ class BendersSolver:
 
         runtime = time.perf_counter() - start
         gap = max(0.0, upper_bound - lower_bound)
+        message = f"UB={upper_bound:.6f} LB={lower_bound:.6f}"
+        if time_truncated:
+            message += " (time limit reached; incumbent not certified)"
         stats = SolverStats(
             solver="benders",
             iterations=iterations,
             runtime_s=runtime,
-            optimal=gap <= max(self.tolerance, self.relative_tolerance * abs(upper_bound)),
+            optimal=not time_truncated
+            and gap
+            <= max(self.tolerance, self.relative_tolerance * abs(upper_bound)),
             gap=gap,
             cuts_optimality=optimality_cuts,
             cuts_feasibility=feasibility_cuts,
-            message=f"UB={upper_bound:.6f} LB={lower_bound:.6f}",
+            message=message,
+            time_truncated=time_truncated,
         )
         if self.cut_pool is not None and pool_key is not None:
             self.cut_pool.record(
@@ -537,33 +698,47 @@ class BendersSolver:
     # ------------------------------------------------------------------ #
     # Warm start
     # ------------------------------------------------------------------ #
+    def _theta_lowers(self, slave: SlaveProblem) -> np.ndarray:
+        """Per-surrogate lower bounds: one per block, or one aggregate."""
+        if self.multi_cut:
+            return np.array(
+                [block.theta_lower for block in slave.blocks()], dtype=float
+            )
+        return np.array([slave.objective_lower_bound()], dtype=float)
+
     def _instance_token(
-        self, slave: SlaveProblem, cost_x: np.ndarray, theta_lower: float
+        self, slave: SlaveProblem, cost_x: np.ndarray, theta_lowers: np.ndarray
     ) -> bytes:
         """Byte-level fingerprint of everything a cold solve of this
         instance reads: the admission objective, the slave system (matrix
-        values cover the forecast-dependent floors), the surrogate bound and
-        this solver's stopping parameters.  Equal tokens mean a cold solve
-        would replay the exact same deterministic trajectory."""
+        values cover the forecast-dependent floors), the surrogate bounds,
+        the cut-generation mode and this solver's stopping parameters.
+        Equal tokens mean a cold solve would replay the exact same
+        deterministic trajectory (the multi-cut flag and block count are
+        folded in because they change the cut sequence, hence the
+        trajectory)."""
+        theta_lowers = np.atleast_1d(np.asarray(theta_lowers, dtype=float))
         digest = hashlib.sha256()
         digest.update(np.ascontiguousarray(cost_x).tobytes())
         digest.update(np.ascontiguousarray(slave.d).tobytes())
         digest.update(np.ascontiguousarray(slave.h0).tobytes())
         digest.update(np.ascontiguousarray(slave.h_matrix.data).tobytes())
         digest.update(np.ascontiguousarray(slave.g_matrix.data).tobytes())
+        digest.update(np.ascontiguousarray(theta_lowers).tobytes())
         digest.update(
             struct.pack(
                 "ddiddd",
                 self.tolerance,
                 self.relative_tolerance,
                 self.max_iterations,
-                theta_lower,
+                float(np.sum(theta_lowers)),
                 -1.0 if self.time_limit_s is None else float(self.time_limit_s),
                 -1.0
                 if self.master_time_limit_s is None
                 else float(self.master_time_limit_s),
             )
         )
+        digest.update(struct.pack("ii", int(self.multi_cut), len(theta_lowers)))
         return digest.digest()
 
     def _warm_fast_path(
@@ -571,7 +746,7 @@ class BendersSolver:
         problem: ACRRProblem,
         slave: SlaveProblem,
         cost_x: np.ndarray,
-        theta_lower: float,
+        theta_lowers: np.ndarray,
         pool_key: tuple,
         instance_token: bytes,
         start: float,
@@ -617,7 +792,7 @@ class BendersSolver:
         if replay is not None:
             return replay
 
-        seeded_master = _MasterState(problem, cost_x, theta_lower)
+        seeded_master = _MasterState(problem, cost_x, theta_lowers)
         seeded, previous_x, _token = self.cut_pool.seed_master(
             pool_key, seeded_master, slave
         )
@@ -627,7 +802,7 @@ class BendersSolver:
         master = self._solve_master(seeded_master, hint=hint)
         if master is None:
             return None
-        x_proposed, _theta, master_objective = master
+        x_proposed, _thetas, master_objective = master
         outcome = slave.evaluate(previous_x)
         if not outcome.feasible:
             return None
@@ -726,30 +901,38 @@ class BendersSolver:
     def _master_hint(master: _MasterState, previous_x: np.ndarray) -> np.ndarray | None:
         """Lift a previous admission vector into a full master-variable hint.
 
-        The surrogate variable is set to the smallest value the seeded
-        optimality cuts allow at ``previous_x``, so the hint is feasible for
-        the freshly seeded master whenever ``previous_x`` itself still is
+        The surrogate variables are raised to the smallest values the seeded
+        optimality cuts allow at ``previous_x`` (walking the cut rows in
+        order and charging any shortfall to the lowest-index surrogate a row
+        involves -- raising a surrogate never breaks an earlier row, the
+        coefficients are non-negative), so the hint is feasible for the
+        freshly seeded master whenever ``previous_x`` itself still is
         (``solve_milp`` re-validates before trusting it either way).
         """
         if previous_x.shape != (master.num_items,):
             return None
-        theta = float(master.lower[-1])
+        n = master.num_items
+        thetas = master.theta_lowers.copy()
         cut_matrix, cut_rhs = master.cut_rows()
         if cut_matrix is not None:
-            base = np.asarray(cut_matrix[:, :-1].dot(previous_x)).ravel()
-            theta_coeff = np.asarray(cut_matrix[:, -1].todense()).ravel()
+            base = np.asarray(cut_matrix[:, :n].dot(previous_x)).ravel()
+            theta_coeff = np.asarray(cut_matrix[:, n:].todense())
             needed = cut_rhs - base
-            binding = theta_coeff > 0.5
-            if np.any(binding):
-                theta = max(theta, float(np.max(needed[binding])))
-            # A feasibility cut previous_x violates makes the hint invalid;
-            # solve_milp's validation will reject it in that case.
-        return np.concatenate([previous_x, [theta]])
+            for row in range(cut_matrix.shape[0]):
+                support = np.flatnonzero(theta_coeff[row] > 0.5)
+                if not len(support):
+                    # A feasibility cut previous_x violates makes the hint
+                    # invalid; solve_milp's validation rejects it then.
+                    continue
+                shortfall = needed[row] - float(np.sum(thetas[support]))
+                if shortfall > 0.0:
+                    thetas[support[0]] += shortfall
+        return np.concatenate([previous_x, thetas])
 
     def _solve_master(
         self, master: _MasterState, hint: np.ndarray | None = None
-    ) -> tuple[np.ndarray, float, float] | None:
-        """Solve the current master MILP; returns (x, theta, objective)."""
+    ) -> tuple[np.ndarray, np.ndarray, float] | None:
+        """Solve the current master MILP; returns (x, thetas, objective)."""
         result = solve_milp(
             cost=master.cost,
             constraints=master.constraints(),
@@ -774,5 +957,5 @@ class BendersSolver:
             return None
         n = master.num_items
         x = np.round(result.values[:n])
-        theta = float(result.values[n])
-        return x, theta, float(result.objective)
+        thetas = np.asarray(result.values[n:], dtype=float)
+        return x, thetas, float(result.objective)

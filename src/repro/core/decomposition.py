@@ -23,10 +23,22 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.lpsolver import LPSolution, Phase1Problem, solve_lp
-from repro.core.problem import ACRRProblem
+from repro.core.problem import ACRRProblem, ResourceBlock
 
 #: Numerical tolerance below which a phase-1 optimum counts as "feasible".
 FEASIBILITY_TOLERANCE = 1e-6
+
+
+class SlaveNumericalError(RuntimeError):
+    """The slave LP solver failed on an essentially-feasible instance.
+
+    Deterministic numerical breakdown, not a transient fault: the phase-1
+    certificate proves the instance is feasible (within
+    :data:`FEASIBILITY_TOLERANCE`) yet the LP solver refused it.  Subclasses
+    ``RuntimeError`` so the safeguard chain's fall-through tier
+    (:mod:`repro.faults.safeguard`) catches it and degrades instead of
+    retrying -- retrying a deterministic solve reproduces the failure.
+    """
 
 
 @dataclass(frozen=True)
@@ -40,6 +52,89 @@ class SlaveSolveOutcome:
     duals: np.ndarray
     infeasibility: float
     ray: np.ndarray
+
+
+@dataclass(frozen=True)
+class SlaveBlock:
+    """One tenant's relaxed slice of the slave LP (multi-cut block).
+
+    Holds plain arrays only, so instances pickle cleanly into process-pool
+    workers.  ``rows`` indexes into the full slave system (capacity rows the
+    tenant's items touch, then the items' coupling rows); ``g_matrix`` is
+    those rows restricted to the block's own ``u = (y_b, z_b)`` columns.
+    Dropping the other tenants' non-negative terms from a shared ``<=`` row
+    while keeping the full right-hand side relaxes the row, so the block
+    optimum underestimates the tenant's share of the joint slave cost:
+
+        q(x) >= sum_b q_b(x)   for every admission vector x,
+
+    which makes per-block optimality cuts ``theta_b >= -(h0_b + H_b x)' mu``
+    valid lower bounds on the per-block surrogates whatever iteration the
+    multipliers came from.  ``h_matrix`` keeps the full x width, so block
+    cuts may involve other tenants' admission variables (shared capacity
+    rows carry their baseline terms).
+    """
+
+    index: int
+    tenant_index: int
+    item_indices: tuple[int, ...]
+    rows: tuple[int, ...]
+    d: np.ndarray
+    g_matrix: sparse.csr_matrix
+    h0: np.ndarray
+    h_matrix: sparse.csr_matrix
+    u_lower: np.ndarray
+    u_upper: np.ndarray
+    u_bound: np.ndarray
+    theta_lower: float
+
+
+@dataclass(frozen=True)
+class BlockSolveOutcome:
+    """Result of pricing one :class:`SlaveBlock` at a fixed admission vector."""
+
+    block_index: int
+    feasible: bool
+    objective: float
+    duals: np.ndarray
+    infeasibility: float
+    ray: np.ndarray
+
+
+def evaluate_block(block: SlaveBlock, x: np.ndarray) -> BlockSolveOutcome:
+    """Price one block at ``x``.  Module-level so process pools can map it."""
+    b = block.h0 + block.h_matrix.dot(np.asarray(x, dtype=float))
+    solution: LPSolution = solve_lp(
+        block.d, block.g_matrix, b, block.u_lower, block.u_upper
+    )
+    if solution.success:
+        return BlockSolveOutcome(
+            block_index=block.index,
+            feasible=True,
+            objective=solution.objective,
+            duals=solution.duals_upper,
+            infeasibility=0.0,
+            ray=np.zeros(len(b)),
+        )
+    phase1 = Phase1Problem(block.g_matrix, block.u_lower, block.u_upper)
+    infeasibility, ray = phase1.certificate(b)
+    if infeasibility <= FEASIBILITY_TOLERANCE:
+        raise SlaveNumericalError(
+            f"block {block.index} LP solver failure despite a feasible "
+            f"phase-1 problem: {solution.status}"
+        )
+    return BlockSolveOutcome(
+        block_index=block.index,
+        feasible=False,
+        objective=float("inf"),
+        duals=np.zeros(len(b)),
+        infeasibility=infeasibility,
+        ray=ray,
+    )
+
+
+def _evaluate_block_task(task: "tuple[SlaveBlock, np.ndarray]") -> BlockSolveOutcome:
+    return evaluate_block(task[0], task[1])
 
 
 class SlaveProblem:
@@ -74,6 +169,8 @@ class SlaveProblem:
         # Phase-1 certificate problem, extended once on the first infeasible
         # evaluate; later certificates only swap the right-hand side.
         self._phase1: Phase1Problem | None = None
+        # Per-tenant blocks for multi-cut disaggregation, built lazily.
+        self._blocks: list[SlaveBlock] | None = None
 
     # ------------------------------------------------------------------ #
     def rhs(self, x: np.ndarray) -> np.ndarray:
@@ -114,9 +211,13 @@ class SlaveProblem:
             self._phase1 = Phase1Problem(self.g_matrix, self.u_lower, self.u_upper)
         infeasibility, ray = self._phase1.certificate(b)
         if infeasibility <= FEASIBILITY_TOLERANCE:
-            # The LP failed for numerical reasons but is essentially feasible;
-            # retry the certificate solution as a (conservative) outcome.
-            raise RuntimeError(
+            # The LP failed for numerical reasons but is essentially feasible,
+            # so neither outcome would be honest: the phase-1 point carries no
+            # dual prices for an optimality cut, and a feasibility cut would
+            # wrongly exclude a feasible x.  Raise the typed numerical error
+            # so the safeguard chain degrades to a conservative tier instead
+            # of retrying a deterministic failure.
+            raise SlaveNumericalError(
                 "slave LP solver failure despite a feasible phase-1 problem: "
                 f"{solution.status}"
             )
@@ -129,6 +230,74 @@ class SlaveProblem:
             infeasibility=infeasibility,
             ray=ray,
         )
+
+    # ------------------------------------------------------------------ #
+    # Multi-cut blocks
+    # ------------------------------------------------------------------ #
+    def blocks(self) -> list[SlaveBlock]:
+        """Per-tenant blocks in deterministic (tenant) order, built lazily."""
+        if self._blocks is None:
+            self._blocks = [
+                self._build_block(block) for block in self.problem.resource_blocks()
+            ]
+        return self._blocks
+
+    def _build_block(self, block: ResourceBlock) -> SlaveBlock:
+        n = self.num_items
+        items = list(block.item_indices)
+        rows = list(block.capacity_rows) + [
+            self.num_capacity_rows + 5 * i + j for i in items for j in range(5)
+        ]
+        cols = items + [n + i for i in items]
+        g_block = self.g_matrix[rows, :].tocsc()[:, cols].tocsr()
+        sla = np.array(
+            [self.problem.items[i].sla_mbps for i in items], dtype=float
+        )
+        c_y = self.problem.objective_y()[items]
+        return SlaveBlock(
+            index=block.index,
+            tenant_index=block.tenant_index,
+            item_indices=tuple(items),
+            rows=tuple(rows),
+            d=self.d[cols],
+            g_matrix=g_block,
+            h0=self.h0[rows],
+            h_matrix=self.h_matrix[rows, :].tocsr(),
+            u_lower=np.zeros(2 * len(items)),
+            u_upper=np.full(2 * len(items), np.inf),
+            u_bound=np.concatenate([sla, sla]),
+            theta_lower=float(np.sum(np.minimum(c_y * sla, 0.0))),
+        )
+
+    def evaluate_blocks(self, x: np.ndarray, executor=None) -> list[BlockSolveOutcome]:
+        """Price every block at ``x``, optionally fanning out over an executor.
+
+        Results come back in block order whatever the executor, and each
+        block LP is an independent deterministic solve, so the outcome list
+        is bit-identical for any worker count (the executor contract in
+        :mod:`repro.utils.executors`).
+        """
+        blocks = self.blocks()
+        x = np.asarray(x, dtype=float)
+        if executor is None or len(blocks) <= 1:
+            return [evaluate_block(block, x) for block in blocks]
+        return executor.map(
+            _evaluate_block_task, [(block, x) for block in blocks]
+        )
+
+    def cut_from_block_multipliers(
+        self, block: SlaveBlock, mu: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Like :meth:`cut_from_multipliers` but over one block's rows.
+
+        The returned coefficients span the full admission vector (shared
+        capacity rows carry other tenants' baseline terms); the cut reads
+        ``theta_b + (H_b' mu)' x >= -h0_b' mu``.
+        """
+        mu = np.asarray(mu, dtype=float)
+        coeff = np.asarray(block.h_matrix.T.dot(mu)).ravel()
+        rhs = -float(np.dot(block.h0, mu))
+        return coeff, rhs
 
     # ------------------------------------------------------------------ #
     # Cut generation

@@ -185,6 +185,24 @@ class _ConstraintBlock:
         return self.a_x.shape[0]
 
 
+@dataclass(frozen=True)
+class ResourceBlock:
+    """One tenant's slice of the slave LP, for multi-cut disaggregation.
+
+    ``item_indices`` are the tenant's columns (ascending), ``capacity_rows``
+    the capacity rows those items touch (ascending).  Blocks share capacity
+    rows: each block sees every shared row restricted to its own columns
+    with the *full* right-hand side, which is a relaxation (the dropped
+    terms are non-negative), so per-block costs always underestimate the
+    joint slave cost -- the property the multi-cut master relies on.
+    """
+
+    index: int
+    tenant_index: int
+    item_indices: tuple[int, ...]
+    capacity_rows: tuple[int, ...]
+
+
 def _csr(rows: list[int], cols: list[int], values: list[float], shape: tuple[int, int]) -> sparse.csr_matrix:
     return sparse.csr_matrix(
         (np.asarray(values, dtype=float), (np.asarray(rows, dtype=int), np.asarray(cols, dtype=int))),
@@ -436,7 +454,16 @@ class ACRRProblem:
         clone._block_cache = {
             key: value
             for key, value in self._block_cache.items()
-            if key in ("capacity", "selection", "signature", "warm_signature")
+            if key
+            in (
+                "capacity",
+                "selection",
+                "signature",
+                "warm_signature",
+                "contendable",
+                "resource_blocks",
+                "tenant_partition",
+            )
         }
         return clone
 
@@ -733,6 +760,103 @@ class ACRRProblem:
                 lower[item.index] = floor
                 upper[item.index] = item.sla_mbps
         return lower, upper
+
+    # ------------------------------------------------------------------ #
+    # Block structure (multi-cut disaggregation, batch partitioning)
+    # ------------------------------------------------------------------ #
+    def contendable_capacity_rows(self) -> np.ndarray:
+        """Boolean mask over capacity rows that could possibly bind.
+
+        A row whose worst-case load -- every candidate item admitted and
+        reserving its full SLA -- still fits the capacity can never be
+        active in any feasible solution, so it exerts no coupling between
+        tenants.  The mask depends only on structure and SLAs (not on
+        forecasts), so it is cached across :meth:`with_forecasts` clones.
+        """
+        return self._cached("contendable", self._build_contendable_rows)
+
+    def _build_contendable_rows(self) -> np.ndarray:
+        capacity = self.capacity_block()
+        sla = np.array([item.sla_mbps for item in self.items], dtype=float)
+        worst = capacity.a_x @ np.ones(self.num_items) + capacity.a_z @ sla
+        slack = 1e-9 * np.maximum(1.0, np.abs(capacity.upper))
+        return np.asarray(worst > capacity.upper + slack)
+
+    def resource_blocks(self) -> list[ResourceBlock]:
+        """Per-tenant slave blocks, in tenant order (deterministic).
+
+        Each block owns the tenant's items and records the capacity rows
+        they touch; the coupling rows of an item belong to its block by
+        construction.  Used by the multi-cut Benders slave
+        (:mod:`repro.core.decomposition`) to price blocks independently.
+        """
+        return self._cached("resource_blocks", self._build_resource_blocks)
+
+    def _build_resource_blocks(self) -> list[ResourceBlock]:
+        capacity = self.capacity_block()
+        touched = (
+            capacity.a_x.astype(bool) + capacity.a_z.astype(bool)
+        ).tocsc()
+        blocks: list[ResourceBlock] = []
+        for tenant in range(self.num_tenants):
+            item_indices = tuple(self._items_by_tenant[tenant])
+            rows: set[int] = set()
+            for i in item_indices:
+                start, stop = touched.indptr[i], touched.indptr[i + 1]
+                rows.update(int(r) for r in touched.indices[start:stop])
+            blocks.append(
+                ResourceBlock(
+                    index=tenant,
+                    tenant_index=tenant,
+                    item_indices=item_indices,
+                    capacity_rows=tuple(sorted(rows)),
+                )
+            )
+        return blocks
+
+    def tenant_partition(self) -> list[tuple[int, ...]]:
+        """Partition tenants into groups no *contendable* capacity row couples.
+
+        Two tenants end up in the same group iff they are connected through
+        capacity rows that could actually bind (see
+        :meth:`contendable_capacity_rows`).  Groups are exact: solving each
+        group's sub-problem independently and concatenating the decisions
+        yields a joint optimum, because every cross-group row has enough
+        capacity for the worst case on both sides.  Deterministic: groups
+        ordered by smallest tenant index, tenants ascending within a group.
+        """
+        return self._cached("tenant_partition", self._build_tenant_partition)
+
+    def _build_tenant_partition(self) -> list[tuple[int, ...]]:
+        parent = list(range(self.num_tenants))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        capacity = self.capacity_block()
+        touched = (
+            capacity.a_x.astype(bool) + capacity.a_z.astype(bool)
+        ).tocsr()
+        for row in np.flatnonzero(self.contendable_capacity_rows()):
+            start, stop = touched.indptr[row], touched.indptr[row + 1]
+            tenants = sorted(
+                {self.items[int(c)].tenant_index for c in touched.indices[start:stop]}
+            )
+            for other in tenants[1:]:
+                union(tenants[0], other)
+
+        groups: dict[int, list[int]] = {}
+        for tenant in range(self.num_tenants):
+            groups.setdefault(find(tenant), []).append(tenant)
+        return [tuple(groups[root]) for root in sorted(groups)]
 
 
 class ProblemStructureCache:

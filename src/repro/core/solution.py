@@ -41,6 +41,10 @@ class SolverStats:
     retries: int = 0
     #: Why the chain fell past the primary tier ("" on a clean solve).
     fallback_reason: str = ""
+    #: True when the solver stopped on its wall-clock budget before closing
+    #: the optimality gap: the decision is the best incumbent, not a
+    #: certificate (the warm pool already withholds its replay token).
+    time_truncated: bool = False
 
 
 @dataclass(frozen=True)

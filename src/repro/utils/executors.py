@@ -1,10 +1,11 @@
 """Pluggable executors for fanning out independent runs.
 
-The campaign layer (:mod:`repro.experiments.campaign`) and the policy
-comparison helper (:func:`repro.simulation.runner.compare_policies`) both
-need to map a pure function over a list of independent work items.  The
-executor contract is deliberately tiny so tests can run serially while the
-default path fans out over a process pool:
+The campaign layer (:mod:`repro.experiments.campaign`), the policy
+comparison helper (:func:`repro.simulation.runner.compare_policies`), and
+the multi-cut Benders slave fan-out (:mod:`repro.core.benders`) all need to
+map a pure function over a list of independent work items.  The executor
+contract is deliberately tiny so tests can run serially while the default
+path fans out over a pool:
 
 * ``map(fn, items, on_result=None)`` applies ``fn`` to every item and
   returns the results **in item order**; ``on_result`` is invoked with each
@@ -13,6 +14,9 @@ default path fans out over a process pool:
   incrementally -- even when one run fails, every run that completed is
   persisted before the failure propagates, so an aborted sweep resumes
   from all finished work;
+* a failure raised by a *run* always wins over a failure raised by the
+  ``on_result`` consumer (run failures carry the root cause; the consumer
+  is bookkeeping), and either failure cancels work that has not started;
 * ``fn`` and the items must be picklable for the process-pool executor
   (``fn`` must be a module-level function);
 * executors are stateless between ``map`` calls and may be reused.
@@ -41,6 +45,53 @@ def _consume(
             on_result(result)
         collected.append(result)
     return collected
+
+
+def _drain_pool(
+    futures: list["concurrent.futures.Future[R]"],
+    on_result: Callable[[R], None] | None,
+) -> list[R]:
+    """Drain ``futures`` in completion order, then return results in order.
+
+    Failure semantics shared by the pool executors: every finished result
+    still reaches ``on_result`` before a failure propagates; the first *run*
+    failure takes precedence over a failure raised by ``on_result`` itself;
+    either kind of failure cancels futures that have not started yet so the
+    pool shuts down promptly instead of finishing doomed work.
+    """
+    first_failure: BaseException | None = None
+    consumer_failure: BaseException | None = None
+
+    def cancel_pending() -> None:
+        # Cancel immediately, not after the drain: futures that have not
+        # been handed to a worker yet are dropped, so a failed sweep stops
+        # scheduling doomed work while the already-running futures finish.
+        for future in futures:
+            future.cancel()
+
+    for future in concurrent.futures.as_completed(futures):
+        if future.cancelled():
+            continue
+        try:
+            result = future.result()
+        except BaseException as exc:
+            if first_failure is None:
+                first_failure = exc
+                cancel_pending()
+            continue
+        if on_result is not None and consumer_failure is None:
+            try:
+                on_result(result)
+            except BaseException as exc:
+                # Keep draining what still completes: those runs already
+                # did their work; we only stop forwarding to the broken
+                # consumer.  A run failure discovered later still wins.
+                consumer_failure = exc
+                cancel_pending()
+    failure = first_failure or consumer_failure
+    if failure is not None:
+        raise failure
+    return [future.result() for future in futures]
 
 
 class SerialExecutor:
@@ -83,26 +134,43 @@ class ProcessPoolRunExecutor:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
         ) as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            # Drain in completion order so every finished result reaches
-            # on_result even when another item fails; re-raise the first
-            # failure only after the whole pool has been consumed.
-            first_failure: BaseException | None = None
-            for future in concurrent.futures.as_completed(futures):
-                try:
-                    result = future.result()
-                except BaseException as exc:
-                    if first_failure is None:
-                        first_failure = exc
-                    continue
-                if on_result is not None:
-                    on_result(result)
-            if first_failure is not None:
-                raise first_failure
-            return [future.result() for future in futures]
+            return _drain_pool([pool.submit(fn, item) for item in items], on_result)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessPoolRunExecutor(max_workers={self.max_workers})"
+
+
+class ThreadPoolRunExecutor:
+    """Fan items out over a :class:`concurrent.futures.ThreadPoolExecutor`.
+
+    Same contract and failure semantics as :class:`ProcessPoolRunExecutor`
+    but without the pickling requirement, so closures and bound methods
+    work.  This is the executor of choice for workloads that release the
+    GIL (HiGHS LP solves) or that need shared in-process state (the Benders
+    cut pool).
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive (or None for the default)")
+        self.max_workers = max_workers
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        on_result: Callable[[R], None] | None = None,
+    ) -> list[R]:
+        items = list(items)
+        if len(items) <= 1:  # not worth a pool
+            return _consume((fn(item) for item in items), on_result)
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            return _drain_pool([pool.submit(fn, item) for item in items], on_result)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadPoolRunExecutor(max_workers={self.max_workers})"
 
 
 def default_executor(workers: int | None) -> SerialExecutor | ProcessPoolRunExecutor:
@@ -113,7 +181,7 @@ def default_executor(workers: int | None) -> SerialExecutor | ProcessPoolRunExec
 
 
 def resolve_executor(
-    executor: "SerialExecutor | ProcessPoolRunExecutor | None",
+    executor: "SerialExecutor | ProcessPoolRunExecutor | ThreadPoolRunExecutor | None",
     workers: int | None = None,
 ):
     """Resolve the ``executor``/``workers`` pair accepted by the sweep APIs.
@@ -129,6 +197,7 @@ def resolve_executor(
 __all__ = [
     "SerialExecutor",
     "ProcessPoolRunExecutor",
+    "ThreadPoolRunExecutor",
     "default_executor",
     "resolve_executor",
 ]

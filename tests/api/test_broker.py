@@ -307,3 +307,44 @@ class TestFacadeEquivalence:
                 assert mirrored.reservations_mbps == allocation.reservations_mbps
             assert report.accepted == tuple(sorted(expected.accepted_tenants))
             assert actual.stats.iterations == expected.stats.iterations
+
+
+class TestTimeTruncationSurfacing:
+    """A budget-stopped solve must be visible at the API boundary (PR 7)."""
+
+    class TruncatingSolver:
+        """Wraps the exact solver but stamps its stats as time-truncated."""
+
+        def __init__(self):
+            self.inner = DirectMILPSolver()
+
+        def solve(self, problem):
+            from dataclasses import replace
+
+            decision = self.inner.solve(problem)
+            decision.stats = replace(
+                decision.stats,
+                time_truncated=True,
+                optimal=False,
+                message=decision.stats.message
+                + " (time limit reached; incumbent not certified)",
+            )
+            return decision
+
+    def test_report_carries_the_truncation_flag(self):
+        broker = SliceBroker(
+            topology=operators.testbed_topology(), solver=self.TruncatingSolver()
+        )
+        broker.submit(request("s1"))
+        report = broker.advance_epoch(0)
+        assert report.solver_time_truncated
+        assert "not certified" in report.solver_message
+        # ...and survives the wire round-trip.
+        assert EpochReport.from_dict(report.to_dict()).solver_time_truncated
+
+    def test_certified_solve_reports_no_truncation(self):
+        broker = make_broker()
+        broker.submit(request("s1"))
+        report = broker.advance_epoch(0)
+        assert not report.solver_time_truncated
+        assert not EpochReport.from_dict(report.to_dict()).solver_time_truncated

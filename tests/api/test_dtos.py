@@ -145,6 +145,7 @@ reports = st.builds(
     solver_optimal=st.booleans(),
     solver_warm_cuts=st.integers(min_value=0, max_value=1000),
     solver_message=st.text(max_size=40),
+    solver_time_truncated=st.booleans(),
     events=st.lists(events, max_size=3).map(tuple),
     degraded=st.booleans(),
     solver_tier=st.sampled_from(

@@ -1,0 +1,133 @@
+"""Footprint-partitioned batch admission (PR 7 tentpole, upper half).
+
+The orchestrator may split one epoch's joint admission problem into
+topology-disjoint footprints -- tenant groups no *contendable* capacity row
+couples -- and solve the sub-problems independently.  The split is exact
+(every cross-group row has room for the worst case on both sides), so these
+tests hold the partitioned decision to *bit-identity* with the joint solve,
+not mere near-equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.orchestrator import E2EOrchestrator, OrchestratorConfig
+from repro.core.milp_solver import DirectMILPSolver
+from repro.core.slices import EMBB_TEMPLATE, URLLC_TEMPLATE, make_requests
+from repro.scenarios import decision_fingerprint
+from tests.conftest import build_tiny_topology
+
+
+def roomy_topology():
+    """Capacities so generous no capacity row can ever bind.
+
+    Worst-case load of the fixture tenants is far below every radio, link
+    and CPU capacity, so no row is contendable and each tenant is its own
+    footprint.
+    """
+    return build_tiny_topology(
+        num_base_stations=2,
+        bs_capacity_mhz=10_000.0,
+        link_capacity_mbps=1e6,
+        edge_cpus=1e5,
+        core_cpus=1e6,
+    )
+
+
+def fixture_requests():
+    # All uRLLC: the latency bound forces edge anchoring, so the roomy
+    # instance has a *unique* optimum and the joint-vs-partitioned claim can
+    # be bit-identity rather than objective equality.  (With eMBB tenants,
+    # edge and core anchoring tie and HiGHS breaks the tie differently on
+    # the smaller sub-problem's column order.)
+    return make_requests(URLLC_TEMPLATE, 5, duration_epochs=24)
+
+
+def orchestrator(topology, partition: bool, workers: int | None = None):
+    return E2EOrchestrator(
+        topology=topology,
+        solver=DirectMILPSolver(),
+        config=OrchestratorConfig(
+            partition_admission=partition, partition_workers=workers
+        ),
+    )
+
+
+def run_first_epoch(partition: bool, workers: int | None = None):
+    orch = orchestrator(roomy_topology(), partition, workers)
+    for request in fixture_requests():
+        orch.submit_request(request)
+    return orch, orch.run_epoch(0)
+
+
+class TestExactness:
+    def test_partitioned_decision_is_bit_identical_to_joint(self):
+        _, joint = run_first_epoch(partition=False)
+        _, split = run_first_epoch(partition=True)
+        assert decision_fingerprint(split) == decision_fingerprint(joint)
+        assert "partitioned into 5 disjoint footprints" in split.stats.message
+        assert "partitioned" not in joint.stats.message
+
+    def test_partitioned_decision_is_worker_count_invariant(self):
+        fingerprints = {
+            decision_fingerprint(run_first_epoch(partition=True, workers=workers)[1])
+            for workers in (None, 1, 2, 4)
+        }
+        assert len(fingerprints) == 1
+
+    def test_merged_stats_aggregate_the_sub_solves(self):
+        _, joint = run_first_epoch(partition=False)
+        _, split = run_first_epoch(partition=True)
+        assert split.stats.solver == joint.stats.solver
+        assert split.stats.optimal
+        assert split.stats.tier == "primary"
+        assert not split.stats.time_truncated
+        assert split.objective_value == pytest.approx(joint.objective_value, abs=1e-9)
+
+
+class TestPartitioningGuards:
+    def test_saturated_instance_stays_joint(self):
+        # Default tiny-topology capacities: the radio rows are contendable
+        # (SLA worst cases overlap), so everything lands in one group and
+        # the solve must not claim a partition.
+        orch = orchestrator(build_tiny_topology(), partition=True)
+        for request in fixture_requests():
+            orch.submit_request(request)
+        decision = orch.run_epoch(0)
+        assert "partitioned" not in decision.stats.message
+
+    def test_deficit_epochs_are_never_partitioned(self):
+        # Once slices are committed, the orchestrator enables the per-domain
+        # deficit variables (allow_deficit_for_committed default): those
+        # columns are global to a domain, so sub-solves would buy the same
+        # slack twice.  The epoch must fall back to the joint solve.
+        orch = orchestrator(roomy_topology(), partition=True)
+        for request in fixture_requests():
+            orch.submit_request(request)
+        first = orch.run_epoch(0)
+        assert "partitioned" in first.stats.message
+        assert first.num_accepted == 5
+        second = orch.run_epoch(1)
+        assert orch.last_problem.options.allow_deficit
+        assert "partitioned" not in second.stats.message
+
+    def test_single_tenant_batch_stays_joint(self):
+        orch = orchestrator(roomy_topology(), partition=True)
+        orch.submit_request(make_requests(EMBB_TEMPLATE, 1, duration_epochs=5)[0])
+        decision = orch.run_epoch(0)
+        assert "partitioned" not in decision.stats.message
+
+    def test_partition_config_invalidates_decision_reuse(self):
+        # Flipping the partition flag between epochs must invalidate the
+        # unchanged-decision reuse cache: the reused stats would otherwise
+        # claim a solve shape that never ran.
+        orch = orchestrator(roomy_topology(), partition=False)
+        for request in fixture_requests():
+            orch.submit_request(request)
+        orch.run_epoch(0)
+        object.__setattr__(orch.config, "partition_admission", True)
+        # Epoch 1 has committed slices, hence deficit options and no
+        # partitioning -- but the reuse key must still change.
+        decision = orch.run_epoch(1)
+        assert "reused unchanged decision" not in decision.stats.message

@@ -1,0 +1,292 @@
+"""Multi-cut Benders disaggregation: blocks, lazy cut storage, typed errors.
+
+Unit-level companions to the differential sweep in
+``tests/differential/test_multi_cut_differential.py``: the per-tenant block
+relaxation must lower-bound the joint slave (the soundness inequality
+``q(x) >= sum_b q_b(x)``), the master must accumulate cut rows lazily
+instead of re-stacking the whole CSR matrix per cut, an essentially-feasible
+LP failure must raise the typed :class:`SlaveNumericalError`, and a
+wall-clock-truncated solve must say so in its stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.benders import BendersSolver, _MasterState
+from repro.core.decomposition import (
+    SlaveNumericalError,
+    SlaveProblem,
+    evaluate_block,
+)
+from repro.core.lpsolver import LPSolution
+from repro.core.milp_solver import DirectMILPSolver
+from repro.scenarios import decision_fingerprint
+from repro.utils.executors import SerialExecutor, ThreadPoolRunExecutor
+
+
+def accept_all_edge(problem) -> np.ndarray:
+    x = np.zeros(problem.num_items)
+    for item in problem.items:
+        if item.path.compute_unit == "edge-cu":
+            x[item.index] = 1.0
+    return x
+
+
+class TestResourceBlocks:
+    def test_blocks_partition_the_items_by_tenant(self, mixed_problem):
+        blocks = mixed_problem.resource_blocks()
+        assert len(blocks) == len(mixed_problem.requests)
+        covered = sorted(i for block in blocks for i in block.item_indices)
+        assert covered == list(range(mixed_problem.num_items))
+        for block in blocks:
+            expected = [
+                item.index for item in mixed_problem.items_of_tenant(block.tenant_index)
+            ]
+            assert list(block.item_indices) == expected
+
+    def test_tenant_partition_covers_every_tenant_once(self, mixed_problem):
+        groups = mixed_problem.tenant_partition()
+        covered = sorted(t for group in groups for t in group)
+        assert covered == list(range(len(mixed_problem.requests)))
+
+    def test_uncontended_capacity_rows_never_couple(self, mixed_problem):
+        # A row with room for every tenant's simultaneous SLA worst case can
+        # never bind, so it must not appear in any block's contendable set.
+        mask = mixed_problem.contendable_capacity_rows()
+        capacity = mixed_problem.capacity_block()
+        worst = capacity.a_x.dot(np.ones(mixed_problem.num_items)) + capacity.a_z.dot(
+            np.array([item.sla_mbps for item in mixed_problem.items])
+        )
+        for row in np.flatnonzero(~mask):
+            assert worst[row] <= capacity.upper[row] + 1e-6
+
+    def test_block_objectives_lower_bound_the_joint_slave(self, embb_problem):
+        # The soundness inequality behind the disaggregation: each block
+        # restricts the slave to one tenant's columns while keeping the full
+        # right-hand side, a relaxation, so the block optima sum to at most
+        # the joint slave optimum at the same admission vector.
+        slave = SlaveProblem(embb_problem)
+        x = accept_all_edge(embb_problem)
+        joint = slave.evaluate(x)
+        assert joint.feasible
+        outcomes = slave.evaluate_blocks(x)
+        assert all(outcome.feasible for outcome in outcomes)
+        assert sum(o.objective for o in outcomes) <= joint.objective + 1e-8
+
+    def test_block_cuts_are_valid_at_their_generating_point(self, embb_problem):
+        slave = SlaveProblem(embb_problem)
+        x = accept_all_edge(embb_problem)
+        for block, outcome in zip(slave.blocks(), slave.evaluate_blocks(x)):
+            assert outcome.feasible
+            coeff, rhs = slave.cut_from_block_multipliers(block, outcome.duals)
+            # theta_b + coeff' x >= rhs holds with theta_b = q_b(x): LP
+            # duality makes it tight at the generating point.
+            assert outcome.objective + float(coeff @ x) >= rhs - 1e-8
+
+    def test_block_fanout_matches_serial_evaluation(self, mixed_problem):
+        slave = SlaveProblem(mixed_problem)
+        x = accept_all_edge(mixed_problem)
+        serial = slave.evaluate_blocks(x, executor=SerialExecutor())
+        pooled = slave.evaluate_blocks(x, executor=ThreadPoolRunExecutor(4))
+        assert len(serial) == len(pooled)
+        for a, b in zip(serial, pooled):
+            assert a.block_index == b.block_index
+            assert a.feasible == b.feasible
+            assert a.objective == b.objective  # bit-identical, not approx
+            assert np.array_equal(a.duals, b.duals)
+
+
+class TestLazyCutAccumulation:
+    """Satellite: ``add_cut`` must queue rows, not re-stack the matrix."""
+
+    def _master(self, problem):
+        slave = SlaveProblem(problem)
+        return _MasterState(
+            problem,
+            problem.objective_x(),
+            np.array([slave.objective_lower_bound()]),
+        )
+
+    def test_add_cut_does_not_stack(self, embb_problem):
+        master = self._master(embb_problem)
+        for k in range(10):
+            master.add_cut(np.zeros(embb_problem.num_items), -float(k), True)
+        assert master.num_cuts == 10
+        assert master._cut_matrix is None
+        assert len(master._pending_rows) == 10
+
+    def test_cut_rows_folds_pending_once_and_caches(self, embb_problem):
+        master = self._master(embb_problem)
+        for k in range(5):
+            master.add_cut(np.zeros(embb_problem.num_items), -float(k), True)
+        matrix, rhs = master.cut_rows()
+        assert matrix.shape == (5, embb_problem.num_items + 1)
+        assert list(rhs) == [-float(k) for k in range(5)]
+        assert not master._pending_rows
+        # No new cuts: the folded matrix is returned as-is, no re-stacking.
+        again, _ = master.cut_rows()
+        assert again is matrix
+        # New cuts stack on top of the cached matrix, preserving row order.
+        master.add_cut(np.zeros(embb_problem.num_items), -99.0, True)
+        grown, rhs = master.cut_rows()
+        assert grown.shape[0] == 6
+        assert rhs[-1] == -99.0
+
+    def test_vstack_calls_are_linear_in_solves_not_cuts(self, embb_problem, monkeypatch):
+        # The O(n^2) bug: one vstack per add_cut.  Fixed behavior: one
+        # vstack per cut_rows() call that found pending rows.
+        calls = []
+        real_vstack = sparse.vstack
+
+        def counting_vstack(blocks, *args, **kwargs):
+            calls.append(len(blocks))
+            return real_vstack(blocks, *args, **kwargs)
+
+        master = self._master(embb_problem)
+        monkeypatch.setattr("repro.core.benders.sparse.vstack", counting_vstack)
+        for k in range(50):
+            master.add_cut(np.zeros(embb_problem.num_items), -float(k), True)
+        assert calls == []  # queueing is stack-free
+        master.cut_rows()
+        assert len(calls) == 1  # one fold for the whole batch
+
+    def test_multi_theta_master_pads_cuts_correctly(self, mixed_problem):
+        slave = SlaveProblem(mixed_problem)
+        lowers = np.array([block.theta_lower for block in slave.blocks()])
+        master = _MasterState(mixed_problem, mixed_problem.objective_x(), lowers)
+        assert master.num_thetas == len(lowers)
+        n = mixed_problem.num_items
+        master.add_cut(np.zeros(n), 0.0, True)  # aggregate: all surrogates
+        master.add_cut(np.zeros(n), 0.0, True, theta_indices=(2,))
+        master.add_cut(np.zeros(n), 0.0, False)  # feasibility: none
+        matrix, _ = master.cut_rows()
+        theta_part = matrix.toarray()[:, n:]
+        assert list(theta_part[0]) == [1.0] * master.num_thetas
+        assert theta_part[1].sum() == 1.0 and theta_part[1][2] == 1.0
+        assert not theta_part[2].any()
+
+
+class TestSlaveNumericalError:
+    """Satellite: an essentially-feasible LP failure raises a typed error."""
+
+    @staticmethod
+    def _failed_lp(*args, **kwargs):
+        d = args[0]
+        num_rows = len(args[2])
+        return LPSolution(
+            success=False,
+            status="numerical breakdown",
+            objective=float("nan"),
+            primal=np.zeros(len(d)),
+            duals_upper=np.zeros(num_rows),
+            infeasible=False,
+        )
+
+    def test_evaluate_raises_typed_error_on_feasible_failure(
+        self, embb_problem, monkeypatch
+    ):
+        # x = 0 is trivially slave-feasible, so when the LP claims failure
+        # the phase-1 certificate finds ~zero infeasibility: neither an
+        # optimality nor a feasibility cut would be honest.  The pre-fix
+        # code raised a bare RuntimeError here despite a comment promising
+        # an infeasible outcome; now the error is typed so the safeguard
+        # chain can catch it without matching on strings.
+        monkeypatch.setattr("repro.core.decomposition.solve_lp", self._failed_lp)
+        slave = SlaveProblem(embb_problem)
+        with pytest.raises(SlaveNumericalError, match="numerical breakdown"):
+            slave.evaluate(np.zeros(embb_problem.num_items))
+
+    def test_block_evaluation_raises_the_same_typed_error(
+        self, embb_problem, monkeypatch
+    ):
+        monkeypatch.setattr("repro.core.decomposition.solve_lp", self._failed_lp)
+        block = SlaveProblem(embb_problem).blocks()[0]
+        with pytest.raises(SlaveNumericalError):
+            evaluate_block(block, np.zeros(embb_problem.num_items))
+
+    def test_error_is_a_runtime_error_for_the_safeguard_chain(self):
+        # The safeguard chain's fall-through tier catches RuntimeError; the
+        # typed subclass must stay inside that net (and is deterministic,
+        # so it must NOT be a TransientSolverError retry candidate).
+        assert issubclass(SlaveNumericalError, RuntimeError)
+
+
+class TestTimeTruncation:
+    """Satellite: a budget-stopped solve must say so, not just look odd."""
+
+    def test_truncated_solve_surfaces_the_flag_and_message(self, mixed_problem):
+        solver = BendersSolver(
+            tolerance=1e-15,
+            relative_tolerance=1e-15,
+            max_iterations=50,
+            master_time_limit_s=None,
+            time_limit_s=1e-9,
+            warm_start=False,
+        )
+        decision = solver.solve(mixed_problem)
+        stats = decision.stats
+        assert stats.time_truncated
+        assert not stats.optimal
+        assert "time limit reached" in stats.message
+        assert "not certified" in stats.message
+
+    def test_untruncated_solve_keeps_the_flag_clear(self, mixed_problem):
+        decision = BendersSolver(
+            max_iterations=30,
+            master_time_limit_s=None,
+            time_limit_s=None,
+            warm_start=False,
+        ).solve(mixed_problem)
+        assert not decision.stats.time_truncated
+        assert "time limit" not in decision.stats.message
+
+
+class TestMultiCutSolver:
+    def test_multi_cut_matches_single_cut_and_milp(self, mixed_problem):
+        kwargs = dict(
+            tolerance=1e-9,
+            relative_tolerance=1e-9,
+            max_iterations=30,
+            master_time_limit_s=None,
+            time_limit_s=None,
+            warm_start=False,
+        )
+        single = BendersSolver(**kwargs).solve(mixed_problem)
+        multi = BendersSolver(multi_cut=True, **kwargs).solve(mixed_problem)
+        milp = DirectMILPSolver(time_limit_s=None, mip_rel_gap=1e-9).solve(
+            mixed_problem
+        )
+        assert multi.expected_net_reward == pytest.approx(
+            milp.expected_net_reward, abs=1e-6
+        )
+        assert multi.expected_net_reward == pytest.approx(
+            single.expected_net_reward, abs=1e-6
+        )
+
+    def test_multi_cut_decision_is_worker_count_invariant(self, mixed_problem):
+        def solve(executor):
+            return BendersSolver(
+                tolerance=1e-9,
+                relative_tolerance=1e-9,
+                max_iterations=30,
+                master_time_limit_s=None,
+                time_limit_s=None,
+                warm_start=False,
+                multi_cut=True,
+                executor=executor,
+            ).solve(mixed_problem)
+
+        fingerprints = {
+            decision_fingerprint(solve(executor))
+            for executor in (
+                None,
+                SerialExecutor(),
+                ThreadPoolRunExecutor(1),
+                ThreadPoolRunExecutor(2),
+                ThreadPoolRunExecutor(4),
+            )
+        }
+        assert len(fingerprints) == 1

@@ -86,6 +86,20 @@ class TestChainTiers:
         assert primary.calls == 1
         assert decision.stats.tier == TIER_NO_OVERBOOKING
 
+    def test_slave_numerical_error_degrades_without_retry(self, mixed_problem):
+        # The typed error the slave raises when its LP fails despite an
+        # essentially-feasible phase-1 certificate (PR 7): deterministic, so
+        # the chain must fall through to a conservative tier immediately
+        # instead of burning retries on an identical re-solve.
+        from repro.core.decomposition import SlaveNumericalError
+
+        primary = FlakyPrimary([SlaveNumericalError("LP failed on feasible basis")])
+        chain = SafeguardedSolver(primary, max_retries=5)
+        decision = chain.solve(mixed_problem)
+        assert primary.calls == 1
+        assert decision.stats.tier == TIER_NO_OVERBOOKING
+        assert "LP failed on feasible basis" in decision.stats.fallback_reason
+
     def test_crash_after_a_certified_solve_replays_it(self, mixed_problem):
         primary = FlakyPrimary()
         chain = SafeguardedSolver(primary)
