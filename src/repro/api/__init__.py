@@ -11,13 +11,20 @@ This package is the supported entry point to the control plane:
   (``BrokerError`` -> ``ValidationError`` / ``DuplicateSliceError`` /
   ``LifecycleError`` / ``SolverError``, each with a stable ``code``);
 * :mod:`repro.api.events` -- the lifecycle event bus (ADMITTED / REJECTED /
-  EXPIRED / RENEWED / RELEASED).
+  EXPIRED / RENEWED / RELEASED);
+* :mod:`repro.api.transport` / :mod:`repro.api.server` /
+  :mod:`repro.api.client` -- the stdlib HTTP/JSON transport serving the same
+  facade over a socket (``BrokerServer``) and the typed client speaking it
+  (``BrokerClient``), with the DTO dictionaries verbatim as the wire schema.
 
-See DESIGN.md, section "Northbound API", for the versioning rules, the error
-codes and the event ordering contract.
+See DESIGN.md, sections "Northbound API" and "Service transport", for the
+versioning rules, the error-code -> HTTP status mapping and the event
+ordering contract.
 """
 
 from repro.api.broker import SliceBroker
+from repro.api.client import BrokerClient, BrokerConnectionError
+from repro.api.server import BrokerServer
 from repro.api.dtos import (
     AdmissionTicket,
     EpochReport,
@@ -27,8 +34,10 @@ from repro.api.dtos import (
 )
 from repro.api.errors import (
     BrokerError,
+    CapacityError,
     DuplicateSliceError,
     LifecycleError,
+    NotFoundError,
     SolverError,
     ValidationError,
     error_from_dict,
@@ -38,6 +47,9 @@ from repro.api.wire import WIRE_VERSION
 
 __all__ = [
     "SliceBroker",
+    "BrokerServer",
+    "BrokerClient",
+    "BrokerConnectionError",
     "SliceRequestV1",
     "AdmissionTicket",
     "SliceStatus",
@@ -48,6 +60,8 @@ __all__ = [
     "DuplicateSliceError",
     "LifecycleError",
     "SolverError",
+    "CapacityError",
+    "NotFoundError",
     "error_from_dict",
     "EventBus",
     "LifecycleEvent",

@@ -33,7 +33,9 @@ the facade.
 
 from __future__ import annotations
 
+import functools
 import json
+import threading
 from typing import Any, Mapping, Sequence
 
 from repro.api.dtos import (
@@ -44,6 +46,7 @@ from repro.api.dtos import (
     SliceStatus,
 )
 from repro.api.errors import (
+    CapacityError,
     DuplicateSliceError,
     LifecycleError,
     SolverError,
@@ -122,12 +125,39 @@ DEFAULT_CACHE_LIMIT = 65536
 
 def _evict_oldest(cache: dict, limit: int) -> None:
     """FIFO-evict until ``cache`` fits ``limit`` (dicts preserve insertion order)."""
+    if limit < 1:
+        # A zero/negative limit would busy-evict every entry including the
+        # one just inserted, silently breaking same-call replay; the broker
+        # constructor rejects such limits, this guard catches direct misuse.
+        raise ValueError(f"cache limit must be >= 1, got {limit}")
     while len(cache) > limit:
         del cache[next(iter(cache))]
 
 
+def _synchronized(method):
+    """Run ``method`` under the broker's admission-path lock (reentrant)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class SliceBroker:
-    """Versioned northbound service API over one orchestrator instance."""
+    """Versioned northbound service API over one orchestrator instance.
+
+    Thread safety: every mutating entry point (``submit``, ``submit_batch``,
+    ``release``, ``advance_epoch``, monitoring/forecast feeds, chaos controls)
+    and the consistent-snapshot reads (``status``, ``list_slices``) serialise
+    on one reentrant admission-path lock, so concurrent transport sessions
+    can share a broker without torn caches or double-enqueued idempotent
+    retries.  ``quote`` is a pure read by contract and deliberately takes no
+    lock.  With ``max_pending`` set, intake applies backpressure: a submit
+    that would grow the queue past the bound raises the 429-style
+    :class:`CapacityError` instead of accepting unbounded work.
+    """
 
     def __init__(
         self,
@@ -137,6 +167,7 @@ class SliceBroker:
         config: OrchestratorConfig | None = None,
         orchestrator: E2EOrchestrator | None = None,
         cache_limit: int = DEFAULT_CACHE_LIMIT,
+        max_pending: int | None = None,
         **orchestrator_kwargs,
     ):
         if orchestrator is None:
@@ -174,7 +205,24 @@ class SliceBroker:
         #: claiming the name was never submitted.
         self._withdrawn: dict[str, tuple[int, int]] = {}
         #: FIFO bound applied to the token and released-marker caches.
-        self._cache_limit = max(1, int(cache_limit))
+        #: ``cache_limit < 1`` is rejected outright (a zero limit would
+        #: busy-evict the entry a tokened submit just inserted, breaking
+        #: same-call replay) rather than silently clamped.
+        if int(cache_limit) != cache_limit or cache_limit < 1:
+            raise ValidationError(
+                f"cache_limit must be an integer >= 1, got {cache_limit!r}"
+            )
+        self._cache_limit = int(cache_limit)
+        if max_pending is not None and (int(max_pending) != max_pending or max_pending < 1):
+            raise ValidationError(
+                f"max_pending must be None or an integer >= 1, got {max_pending!r}"
+            )
+        #: Intake-queue bound; ``None`` disables backpressure.
+        self._max_pending = None if max_pending is None else int(max_pending)
+        #: One reentrant lock serialises the whole admission path (intake,
+        #: release, epochs, cache maintenance).  Reentrant because
+        #: ``submit_batch`` drives ``submit`` and error paths may re-enter.
+        self._lock = threading.RLock()
         self._last_decision = None
         #: Registry snapshot (state + renewal count per name) as of the last
         #: *published* events.  Persisting it across a failed advance_epoch
@@ -260,7 +308,8 @@ class SliceBroker:
         if client_token is not None:
             # Fingerprinting converts through the V1 DTO, whose stricter
             # domain checks can reject an in-process SliceRequest -- keep
-            # that a structured error, not a bare ValueError.
+            # that a structured error, not a bare ValueError.  Pure
+            # computation: deliberately outside the admission lock.
             try:
                 fingerprint = _request_fingerprint(core_request)
             except (TypeError, ValueError) as error:
@@ -268,21 +317,26 @@ class SliceBroker:
                     f"invalid slice request: {error}",
                     details={"slice_name": core_request.name},
                 ) from error
-            replay = self._tickets_by_token.get(client_token)
-            if replay is not None:
-                stored_fingerprint, ticket = replay
-                if stored_fingerprint != fingerprint:
-                    raise DuplicateSliceError(
-                        f"client token {client_token!r} was already used for a "
-                        "different request payload",
-                        details={"client_token": client_token},
-                    )
-                return ticket
-        ticket = self._enqueue(core_request, client_token)
-        if client_token is not None:
-            self._tickets_by_token[client_token] = (fingerprint, ticket)
-            self._evict_replay_cache()
-        return ticket
+        # The replay check, the enqueue and the cache store are one atomic
+        # step: two concurrent submits racing on the same token must resolve
+        # into exactly one enqueued ticket, with the loser replaying it.
+        with self._lock:
+            if client_token is not None:
+                replay = self._tickets_by_token.get(client_token)
+                if replay is not None:
+                    stored_fingerprint, ticket = replay
+                    if stored_fingerprint != fingerprint:
+                        raise DuplicateSliceError(
+                            f"client token {client_token!r} was already used for a "
+                            "different request payload",
+                            details={"client_token": client_token},
+                        )
+                    return ticket
+            ticket = self._enqueue(core_request, client_token)
+            if client_token is not None:
+                self._tickets_by_token[client_token] = (fingerprint, ticket)
+                self._evict_replay_cache()
+            return ticket
 
     def _evict_replay_cache(self) -> None:
         """Bound the token-replay cache without breaking live retries.
@@ -291,18 +345,32 @@ class SliceBroker:
         legitimate lost-response retry into a DuplicateSliceError, so only
         entries whose slice has left the intake queue are dropped (oldest
         first); the remainder is bounded by the real queue length.
+
+        Incremental on the hot path: a token is still queued iff the
+        queued-name track (``_token_by_queued_name``, maintained at enqueue /
+        withdraw / collection) still maps its slice back to it -- an O(1)
+        probe instead of rebuilding a name set from the whole intake queue.
+        Each call pops only the overflow; a protected (still-queued) entry
+        met during the scan is re-queued at the FIFO tail, so across calls
+        every entry is examined O(1) amortised times per eviction instead of
+        the cache being rescanned end-to-end on every over-limit submit.
         """
-        if len(self._tickets_by_token) <= self._cache_limit:
+        overflow = len(self._tickets_by_token) - self._cache_limit
+        if overflow <= 0:
             return
-        still_pending = {
-            request.name
-            for request in self._orchestrator.slice_manager.pending_requests
-        }
-        for token in list(self._tickets_by_token):
-            if len(self._tickets_by_token) <= self._cache_limit:
-                break
-            if self._tickets_by_token[token][1].slice_name not in still_pending:
-                del self._tickets_by_token[token]
+        # At most one full pass: if every entry is protected, the cache
+        # legitimately exceeds the limit (it is then bounded by the real
+        # queue length) and the scan must not spin.
+        remaining_scans = len(self._tickets_by_token)
+        while overflow > 0 and remaining_scans > 0:
+            remaining_scans -= 1
+            token = next(iter(self._tickets_by_token))
+            entry = self._tickets_by_token.pop(token)
+            if self._token_by_queued_name.get(entry[1].slice_name) == token:
+                # Still queued: keep its retry contract, age it from now.
+                self._tickets_by_token[token] = entry
+            else:
+                overflow -= 1
 
     def submit_batch(
         self,
@@ -328,6 +396,7 @@ class SliceBroker:
         enqueued: list[tuple[str, str | None]] = []
         withdrawn_markers: dict[str, tuple[int, int]] = {}
         completed = False
+        self._lock.acquire()
         try:
             for request, token in zip(requests, tokens):
                 # Snapshot only this request's released-withdrawal marker
@@ -352,17 +421,21 @@ class SliceBroker:
             # Every entry in `enqueued` was a fresh (non-replay) submission,
             # so any token it carries was inserted by this batch and is
             # popped outright -- no pre-batch token snapshot needed.
-            if not completed:
-                for name, token in reversed(enqueued):
-                    self._orchestrator.slice_manager.withdraw(name)
-                    self._token_by_queued_name.pop(name, None)
-                    if token is not None:
-                        self._tickets_by_token.pop(token, None)
-                    if name in withdrawn_markers:
-                        # _enqueue popped the released-withdrawal marker; the
-                        # rollback must restore it so status() keeps
-                        # answering "released" exactly as before the batch.
-                        self._withdrawn[name] = withdrawn_markers[name]
+            try:
+                if not completed:
+                    for name, token in reversed(enqueued):
+                        self._orchestrator.slice_manager.withdraw(name)
+                        self._token_by_queued_name.pop(name, None)
+                        if token is not None:
+                            self._tickets_by_token.pop(token, None)
+                        if name in withdrawn_markers:
+                            # _enqueue popped the released-withdrawal marker;
+                            # the rollback must restore it so status() keeps
+                            # answering "released" exactly as before the
+                            # batch.
+                            self._withdrawn[name] = withdrawn_markers[name]
+            finally:
+                self._lock.release()
         return tickets
 
     def _enqueue(self, request: SliceRequest, client_token: str | None) -> AdmissionTicket:
@@ -377,6 +450,19 @@ class SliceBroker:
                 f"a request named {request.name!r} is already queued",
                 details={"slice_name": request.name},
             )
+        if self._max_pending is not None and manager.pending_count >= self._max_pending:
+            # Backpressure: shed load instead of growing the intake queue
+            # without bound.  Raised before any state is touched, so a
+            # rejected submit leaves no trace (no ticket, no token entry).
+            raise CapacityError(
+                f"intake queue is full ({manager.pending_count} pending, "
+                f"bound {self._max_pending}); retry after the next epoch",
+                details={
+                    "slice_name": request.name,
+                    "pending": manager.pending_count,
+                    "max_pending": self._max_pending,
+                },
+            )
         try:
             # Intake validation (live-name renewals, queue uniqueness) lives
             # in the orchestrator; the broker only translates its errors.
@@ -387,11 +473,17 @@ class SliceBroker:
             raise ValidationError(str(error), details={"slice_name": request.name}) from error
         if client_token is not None:
             self._token_by_queued_name[request.name] = client_token
-            if len(self._token_by_queued_name) > self._cache_limit:
+            if len(self._token_by_queued_name) > max(
+                self._cache_limit, manager.pending_count
+            ):
                 # Unlike the replay caches, evicting a *still-queued* entry
                 # would silently re-enable stale-ticket replay after a
                 # cancel; prune only entries whose name has left the queue
-                # (the rest is bounded by the real queue length).
+                # (the rest is bounded by the real queue length).  By
+                # invariant the track only holds queued names (withdraw,
+                # rollback and collection all pop), so stale entries can
+                # only exist -- and a scan only pays off -- while the track
+                # outgrows the queue itself; the hot path stays O(1).
                 still_pending = {r.name for r in manager.pending_requests}
                 self._token_by_queued_name = {
                     name: token
@@ -413,6 +505,7 @@ class SliceBroker:
     # ------------------------------------------------------------------ #
     # Chaos and degraded operation
     # ------------------------------------------------------------------ #
+    @_synchronized
     def enable_chaos(
         self,
         plan: FaultPlan,
@@ -449,6 +542,7 @@ class SliceBroker:
         self._fault_injector = injector
         return injector
 
+    @_synchronized
     def inject_link_failure(
         self, link_keys: Sequence[tuple[str, str]], capacity_factor: float
     ) -> None:
@@ -495,20 +589,24 @@ class SliceBroker:
     # ------------------------------------------------------------------ #
     # Monitoring feedback and forecast control
     # ------------------------------------------------------------------ #
+    @_synchronized
     def report_load(
         self, slice_name: str, base_station: str, epoch: int, samples_mbps
     ) -> None:
         """Feed monitoring samples for one slice at one base station."""
         self._orchestrator.observe_load(slice_name, base_station, epoch, samples_mbps)
 
+    @_synchronized
     def set_forecast_override(self, slice_name: str, forecast: ForecastInput) -> None:
         """Pin one slice's forecast (oracle mode), overriding the online block."""
         self._orchestrator.forecast_overrides[slice_name] = forecast
 
+    @_synchronized
     def set_forecast_overrides(self, overrides: Mapping[str, ForecastInput]) -> None:
         """Replace the whole forecast-override table (oracle scenarios)."""
         self._orchestrator.forecast_overrides = dict(overrides)
 
+    @_synchronized
     def set_forecasting(self, forecasting) -> None:
         """Swap the online forecasting block (forecaster ablations)."""
         self._orchestrator.forecasting = forecasting
@@ -516,6 +614,7 @@ class SliceBroker:
     # ------------------------------------------------------------------ #
     # Decision epochs
     # ------------------------------------------------------------------ #
+    @_synchronized
     def advance_epoch(self, epoch: int) -> EpochReport:
         """Run one decision epoch and return its report.
 
@@ -750,6 +849,7 @@ class SliceBroker:
     # ------------------------------------------------------------------ #
     # Status and release
     # ------------------------------------------------------------------ #
+    @_synchronized
     def status(self, slice_name: str) -> SliceStatus:
         """Lifecycle status of one slice (queued, registered or archived).
 
@@ -805,6 +905,7 @@ class SliceBroker:
             renewal_count=renewals,
         )
 
+    @_synchronized
     def list_slices(self) -> list[SliceStatus]:
         """Status of every slice this broker knows, sorted by name."""
         manager = self._orchestrator.slice_manager
@@ -813,6 +914,7 @@ class SliceBroker:
         names.update(self._withdrawn)
         return [self.status(name) for name in sorted(names)]
 
+    @_synchronized
     def release(self, slice_name: str, *, epoch: int) -> SliceStatus:
         """Tenant-initiated release: terminate an admitted slice early, or
         cancel a still-queued request.

@@ -1,0 +1,252 @@
+"""Stdlib HTTP/JSON client mirroring the SliceBroker surface over the wire.
+
+:class:`BrokerClient` speaks the route table of :mod:`repro.api.transport`
+against a :class:`~repro.api.server.BrokerServer` and returns the same typed
+DTOs the in-process facade returns -- ``submit`` yields an
+:class:`~repro.api.dtos.AdmissionTicket`, ``advance_epoch`` an
+:class:`~repro.api.dtos.EpochReport`, and so on -- rebuilt from the wire
+payloads via the DTOs' own ``from_dict``.  Error responses are decoded with
+:func:`~repro.api.errors.error_from_dict` and re-raised as the original
+:class:`~repro.api.errors.BrokerError` subclass, so::
+
+    try:
+        client.submit(request, client_token="tok")
+    except CapacityError:      # HTTP 429 from the bounded intake queue
+        backoff_and_retry()
+
+reads identically whether ``client`` is a :class:`BrokerClient` or the
+broker itself.
+
+One client owns one persistent HTTP/1.1 connection and is **not** thread
+safe -- give each concurrent tenant session its own client (connections are
+cheap; the server is thread-per-connection).  GET requests are transparently
+retried once when a kept-alive connection turns out to be dead; POSTs are
+never auto-retried (an idempotency token makes the *caller's* retry safe,
+the transport must not guess).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api.dtos import (
+    AdmissionTicket,
+    EpochReport,
+    QuoteResponse,
+    SliceRequestV1,
+    SliceStatus,
+)
+from repro.api.errors import BrokerError, ValidationError, error_from_dict
+from repro.api.events import LifecycleEvent
+from repro.api.transport import (
+    API_PREFIX,
+    IDEMPOTENCY_BATCH_HEADER,
+    IDEMPOTENCY_HEADER,
+    JSON_CONTENT_TYPE,
+    encode_json,
+    slice_path,
+)
+
+__all__ = ["BrokerClient", "BrokerConnectionError", "EventPage"]
+
+
+class BrokerConnectionError(ConnectionError):
+    """The transport failed before a structured broker response arrived."""
+
+
+class EventPage:
+    """One page of the cursor-paged event feed.
+
+    ``events`` are ``(seq, LifecycleEvent)`` pairs in publication order;
+    ``next_cursor`` is the ``since`` value that continues the feed.
+    """
+
+    def __init__(self, events: list[tuple[int, LifecycleEvent]], next_cursor: int):
+        self.events = events
+        self.next_cursor = next_cursor
+
+    def __iter__(self) -> Iterable[tuple[int, LifecycleEvent]]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _request_payload(
+    request: SliceRequestV1 | Mapping[str, Any],
+) -> dict[str, Any]:
+    if isinstance(request, SliceRequestV1):
+        return request.to_dict()
+    if isinstance(request, Mapping):
+        return dict(request)
+    raise ValidationError(
+        "request must be a SliceRequestV1 or a wire payload mapping, got "
+        f"{type(request).__name__}"
+    )
+
+
+class BrokerClient:
+    """Typed client for one broker server (one connection, one session)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    # Connection plumbing
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._conn.connect()
+            # Admission latency is the benchmark's headline number; never let
+            # Nagle/delayed-ACK interplay add 40 ms artifacts to small bodies.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "BrokerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Mapping[str, Any] | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> Any:
+        payload = None if body is None else encode_json(body)
+        all_headers = {"Accept": JSON_CONTENT_TYPE}
+        if payload is not None:
+            all_headers["Content-Type"] = JSON_CONTENT_TYPE
+        if headers:
+            all_headers.update(headers)
+        attempts = 2 if method == "GET" else 1
+        for attempt in range(attempts):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=all_headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.CannotSendRequest,
+                http.client.RemoteDisconnected,
+                BrokenPipeError,
+                ConnectionResetError,
+                socket.timeout,
+            ) as error:
+                # The kept-alive connection died; reconnect.  Only GETs are
+                # replayed -- a POST may already have been applied.
+                self.close()
+                if attempt + 1 >= attempts:
+                    raise BrokerConnectionError(
+                        f"{method} {path} failed without a broker response: {error}"
+                    ) from error
+        return self._decode(method, path, response.status, data)
+
+    @staticmethod
+    def _decode(method: str, path: str, status: int, data: bytes) -> Any:
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BrokerConnectionError(
+                f"{method} {path}: undecodable response body under status {status}"
+            ) from error
+        if 200 <= status < 300:
+            return decoded
+        if isinstance(decoded, dict) and "error" in decoded:
+            raise error_from_dict(decoded)
+        raise BrokerError(
+            f"{method} {path} failed with HTTP {status} and a non-taxonomy body"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Broker surface
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: SliceRequestV1 | Mapping[str, Any],
+        *,
+        client_token: str | None = None,
+    ) -> AdmissionTicket:
+        headers = {} if client_token is None else {IDEMPOTENCY_HEADER: client_token}
+        payload = self._request(
+            "POST",
+            f"{API_PREFIX}/slices",
+            body=_request_payload(request),
+            headers=headers,
+        )
+        return AdmissionTicket.from_dict(payload)
+
+    def submit_batch(
+        self,
+        requests: Sequence[SliceRequestV1 | Mapping[str, Any]],
+        *,
+        client_tokens: Sequence[str | None] | None = None,
+    ) -> list[AdmissionTicket]:
+        headers = {}
+        if client_tokens is not None:
+            headers[IDEMPOTENCY_BATCH_HEADER] = json.dumps(list(client_tokens))
+        payload = self._request(
+            "POST",
+            f"{API_PREFIX}/slices:batch",
+            body={"requests": [_request_payload(request) for request in requests]},
+            headers=headers,
+        )
+        return [AdmissionTicket.from_dict(entry) for entry in payload["tickets"]]
+
+    def quote(self, request: SliceRequestV1 | Mapping[str, Any]) -> QuoteResponse:
+        payload = self._request(
+            "POST", f"{API_PREFIX}/quotes", body=_request_payload(request)
+        )
+        return QuoteResponse.from_dict(payload)
+
+    def status(self, slice_name: str) -> SliceStatus:
+        payload = self._request("GET", slice_path(slice_name))
+        return SliceStatus.from_dict(payload)
+
+    def list_slices(self) -> list[SliceStatus]:
+        payload = self._request("GET", f"{API_PREFIX}/slices")
+        return [SliceStatus.from_dict(entry) for entry in payload["slices"]]
+
+    def release(self, slice_name: str, *, epoch: int) -> SliceStatus:
+        payload = self._request(
+            "POST", slice_path(slice_name, verb="release"), body={"epoch": epoch}
+        )
+        return SliceStatus.from_dict(payload)
+
+    def advance_epoch(self, epoch: int) -> EpochReport:
+        payload = self._request("POST", f"{API_PREFIX}/epochs", body={"epoch": epoch})
+        return EpochReport.from_dict(payload)
+
+    def events(self, since: int = 0, *, limit: int | None = None) -> EventPage:
+        path = f"{API_PREFIX}/events?since={since}"
+        if limit is not None:
+            path += f"&limit={limit}"
+        payload = self._request("GET", path)
+        events = [
+            (entry["seq"], LifecycleEvent.from_dict(entry["event"]))
+            for entry in payload["events"]
+        ]
+        return EventPage(events, payload["next"])
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", f"{API_PREFIX}/health")

@@ -25,7 +25,16 @@ Class                         ``code``           Raised when
 :class:`SolverError`          ``solver``         the admission solve itself
                                                  failed or produced an
                                                  inconsistent decision
+:class:`CapacityError`        ``capacity``       the broker sheds load: the
+                                                 bounded intake queue is full
+                                                 (retry after the next epoch)
+:class:`NotFoundError`        ``not_found``      a transport route (method +
+                                                 path) does not exist
 ============================  =================  ==============================
+
+The HTTP transport maps each ``code`` onto exactly one status code (see
+:data:`repro.api.transport.STATUS_BY_CODE`); the table above is the
+transport-agnostic contract.
 """
 
 from __future__ import annotations
@@ -77,10 +86,36 @@ class SolverError(BrokerError):
     code = "solver"
 
 
+class CapacityError(BrokerError):
+    """The broker is shedding load: the bounded intake queue is full.
+
+    A 429-style, *transient* condition -- the request was well-formed, the
+    broker simply refuses to grow its intake queue past the configured bound.
+    Clients should retry after the next decision epoch drains the queue (the
+    idempotency-token contract makes the retry safe).
+    """
+
+    code = "capacity"
+
+
+class NotFoundError(BrokerError):
+    """The transport route (method + path) does not exist."""
+
+    code = "not_found"
+
+
 #: ``code`` -> class, for decoding wire-form errors back into exceptions.
 ERROR_TYPES: dict[str, type[BrokerError]] = {
     cls.code: cls
-    for cls in (BrokerError, ValidationError, DuplicateSliceError, LifecycleError, SolverError)
+    for cls in (
+        BrokerError,
+        ValidationError,
+        DuplicateSliceError,
+        LifecycleError,
+        SolverError,
+        CapacityError,
+        NotFoundError,
+    )
 }
 
 

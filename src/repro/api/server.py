@@ -1,0 +1,378 @@
+"""Thread-pooled HTTP/JSON server putting the SliceBroker on a socket.
+
+Stdlib-only (``http.server``): a :class:`BrokerServer` wraps one -- already
+concurrency-safe -- :class:`~repro.api.broker.SliceBroker` and serves the
+route table of :mod:`repro.api.transport` with one handler thread per live
+connection (``ThreadingHTTPServer``), HTTP/1.1 keep-alive, and bodies that
+are exactly the PR 5 DTO ``to_dict`` payloads.  Nothing here interprets
+broker semantics: the server decodes the envelope (path, method, idempotency
+headers, JSON body), calls the facade, and encodes the result -- so driving a
+scenario over the wire is bit-identical to driving the facade in process
+(``tests/api/test_transport.py`` pins this).
+
+Every failure crossing the socket is a structured
+:class:`~repro.api.errors.BrokerError` body under the status of its ``code``
+(:data:`~repro.api.transport.STATUS_BY_CODE`); unexpected internal errors
+are logged server-side and cross as a generic ``broker_error`` body --
+never a traceback.
+
+The event-stream endpoint is a cursor-paged feed: the server subscribes to
+the broker's :class:`~repro.api.events.EventBus` at construction and stamps
+every published event with a monotonically increasing sequence number;
+``GET /v1/events?since=<seq>`` returns the events after ``seq`` plus the
+next cursor, so a client polling the cursor sees every event exactly once,
+in publication order, regardless of how many sessions share the feed.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.broker import SliceBroker
+from repro.api.errors import BrokerError, NotFoundError, ValidationError
+from repro.api.events import LifecycleEvent
+from repro.api.transport import (
+    API_PREFIX,
+    DEFAULT_MAX_BATCH,
+    IDEMPOTENCY_BATCH_HEADER,
+    IDEMPOTENCY_HEADER,
+    JSON_CONTENT_TYPE,
+    MAX_BODY_BYTES,
+    batch_tokens_from_header,
+    decode_json,
+    encode_json,
+    error_body,
+    parse_slice_path,
+    status_for,
+)
+
+__all__ = ["BrokerServer", "EventLog"]
+
+logger = logging.getLogger(__name__)
+
+
+class EventLog:
+    """Sequence-stamped, thread-safe log of one broker's lifecycle events.
+
+    Subscribes to the broker's event bus and appends every event under a
+    monotonically increasing sequence number (the first event is seq 1).
+    :meth:`page` serves the cursor-paged ``/v1/events`` feed.
+    """
+
+    def __init__(self, broker: SliceBroker):
+        self._lock = threading.Lock()
+        self._events: list[LifecycleEvent] = []
+        self._token = broker.events.subscribe(self._append)
+
+    def _append(self, event: LifecycleEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def page(self, since: int, limit: int | None = None) -> tuple[list[dict[str, Any]], int]:
+        """Events with seq > ``since`` (at most ``limit``), plus the next cursor."""
+        with self._lock:
+            start = max(0, since)
+            stop = len(self._events) if limit is None else min(len(self._events), start + limit)
+            page = [
+                {"seq": seq, "event": event.to_dict()}
+                for seq, event in enumerate(self._events[start:stop], start=start + 1)
+            ]
+            return page, stop
+
+
+class _BrokerRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches one HTTP request onto the broker facade."""
+
+    protocol_version = "HTTP/1.1"
+    disable_nagle_algorithm = True
+    # The http.server attribute is typed as HTTPServer; ours carries the api.
+    server: "_BrokerHTTPServer"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _respond(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json(self, payload: dict[str, Any], *, status: int = 200) -> None:
+        self._respond(status, encode_json(payload))
+
+    def _read_body(self) -> bytes:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header) if length_header is not None else 0
+        except ValueError:
+            raise ValidationError(
+                f"malformed Content-Length header {length_header!r}"
+            ) from None
+        if length < 0:
+            raise ValidationError(f"negative Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise ValidationError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte bound",
+                details={"max_body_bytes": MAX_BODY_BYTES},
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            split = urlsplit(self.path)
+            self.server.api._handle(self, method, split.path, parse_qs(split.query))
+        except BrokerError as error:
+            self._respond(status_for(error), error_body(error))
+        except (BrokenPipeError, ConnectionResetError):
+            raise  # client went away mid-response; nothing to send
+        except Exception:  # noqa: BLE001 -- boundary guard: no tracebacks on the wire
+            logger.exception("unhandled error serving %s %s", method, self.path)
+            fault = BrokerError("internal broker error; see server logs")
+            self._respond(status_for(fault), error_body(fault))
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming contract)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class _BrokerHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Backlog for the pending-connection queue (the load harness opens
+    #: hundreds of sessions in one burst; the default of 5 drops SYNs).
+    request_queue_size = 1024
+    api: "BrokerServer"
+
+    def handle_error(self, request, client_address) -> None:
+        # A client hanging up mid-exchange is routine under load; keep it off
+        # stderr (the default implementation prints a full traceback).
+        logger.debug("connection error from %s", client_address, exc_info=True)
+
+
+class BrokerServer:
+    """Serve one :class:`SliceBroker` over HTTP/JSON on a local socket.
+
+    Usage::
+
+        broker = SliceBroker(topology=..., solver=..., max_pending=4096)
+        with BrokerServer(broker, port=0) as server:   # port 0: ephemeral
+            client = BrokerClient(server.host, server.port)
+            ...
+
+    ``start``/``stop`` (or the context manager) control the acceptor thread;
+    handler threads are daemonic and die with the process.
+    """
+
+    def __init__(
+        self,
+        broker: SliceBroker,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        self.broker = broker
+        self.max_batch = max_batch
+        #: Cursor-paged event feed backing ``GET /v1/events``.
+        self.event_log = EventLog(broker)
+        self._http = _BrokerHTTPServer((host, port), _BrokerRequestHandler)
+        self._http.api = self
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "BrokerServer":
+        if self._thread is not None:
+            raise RuntimeError("BrokerServer is already running")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name=f"broker-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._http.shutdown()
+        self._thread.join()
+        self._http.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _handle(
+        self,
+        request: _BrokerRequestHandler,
+        method: str,
+        path: str,
+        query: dict[str, list[str]],
+    ) -> None:
+        if method == "GET":
+            if path == f"{API_PREFIX}/health":
+                return request._respond_json(self._health_payload())
+            if path == f"{API_PREFIX}/slices":
+                return request._respond_json(
+                    {"slices": [status.to_dict() for status in self.broker.list_slices()]}
+                )
+            if path == f"{API_PREFIX}/events":
+                return request._respond_json(self._events_payload(query))
+            name, verb = self._slice_segment(path)
+            if name is not None and verb is None:
+                return request._respond_json(self.broker.status(name).to_dict())
+        elif method == "POST":
+            if path == f"{API_PREFIX}/slices":
+                body = decode_json(request._read_body())
+                token = request.headers.get(IDEMPOTENCY_HEADER)
+                ticket = self.broker.submit(self._payload_mapping(body), client_token=token)
+                return request._respond_json(ticket.to_dict(), status=201)
+            if path == f"{API_PREFIX}/slices:batch":
+                return self._handle_batch(request)
+            if path == f"{API_PREFIX}/quotes":
+                body = decode_json(request._read_body())
+                quote = self.broker.quote(self._payload_mapping(body))
+                return request._respond_json(quote.to_dict())
+            if path == f"{API_PREFIX}/epochs":
+                body = decode_json(request._read_body())
+                epoch = self._epoch_field(body)
+                report = self.broker.advance_epoch(epoch)
+                return request._respond_json(report.to_dict())
+            name, verb = self._slice_segment(path)
+            if name is not None and verb == "release":
+                body = decode_json(request._read_body())
+                epoch = self._epoch_field(body)
+                status = self.broker.release(name, epoch=epoch)
+                return request._respond_json(status.to_dict())
+        raise NotFoundError(
+            f"no route {method} {path}",
+            details={"method": method, "path": path},
+        )
+
+    def _handle_batch(self, request: _BrokerRequestHandler) -> None:
+        body = decode_json(request._read_body())
+        payload = self._payload_mapping(body, what="batch body")
+        requests = payload.get("requests")
+        if not isinstance(requests, list):
+            raise ValidationError(
+                "batch body must carry a 'requests' list of SliceRequestV1 payloads"
+            )
+        if len(requests) > self.max_batch:
+            raise ValidationError(
+                f"batch of {len(requests)} requests exceeds the per-call bound "
+                f"of {self.max_batch}",
+                details={"requests": len(requests), "max_batch": self.max_batch},
+            )
+        tokens = batch_tokens_from_header(
+            request.headers.get(IDEMPOTENCY_BATCH_HEADER), len(requests)
+        )
+        tickets = self.broker.submit_batch(
+            [self._payload_mapping(entry, what="batch entry") for entry in requests],
+            client_tokens=tokens,
+        )
+        request._respond_json(
+            {"tickets": [ticket.to_dict() for ticket in tickets]}, status=201
+        )
+
+    # ------------------------------------------------------------------ #
+    # Payload helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _payload_mapping(body: Any, *, what: str = "request body") -> dict[str, Any]:
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"{what} must be a JSON object, got {type(body).__name__}"
+            )
+        return body
+
+    @staticmethod
+    def _epoch_field(body: Any) -> int:
+        payload = BrokerServer._payload_mapping(body)
+        epoch = payload.get("epoch")
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ValidationError(
+                f"body field 'epoch' must be an integer, got {epoch!r}"
+            )
+        return epoch
+
+    @staticmethod
+    def _slice_segment(path: str) -> tuple[str | None, str | None]:
+        prefix = f"{API_PREFIX}/slices/"
+        if not path.startswith(prefix):
+            return None, None
+        segment = path[len(prefix):]
+        if not segment or "/" in segment:
+            return None, None
+        name, verb = parse_slice_path(segment)
+        return name, verb
+
+    def _events_payload(self, query: dict[str, list[str]]) -> dict[str, Any]:
+        since_values = query.get("since", ["0"])
+        limit_values = query.get("limit", [None])
+        try:
+            since = int(since_values[-1])
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"query parameter 'since' must be an integer, got {since_values[-1]!r}"
+            ) from None
+        limit = None
+        if limit_values[-1] is not None:
+            try:
+                limit = int(limit_values[-1])
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"query parameter 'limit' must be an integer, got {limit_values[-1]!r}"
+                ) from None
+            if limit < 0:
+                raise ValidationError(f"query parameter 'limit' must be >= 0, got {limit}")
+        events, next_seq = self.event_log.page(since, limit)
+        return {"events": events, "next": next_seq}
+
+    def _health_payload(self) -> dict[str, Any]:
+        return {
+            "health": self.broker.health.state.value,
+            "pending_requests": self.broker.pending_count,
+            "events_published": len(self.event_log),
+        }

@@ -1,0 +1,197 @@
+"""Shared wire contract of the HTTP/JSON broker transport.
+
+The server (:mod:`repro.api.server`) and the client
+(:mod:`repro.api.client`) agree on exactly three things, all defined here so
+neither can drift from the other:
+
+* the **route table** (:data:`ROUTES`): method + path template per broker
+  operation, the PR 5 DTO ``to_dict``/``from_dict`` payloads verbatim as the
+  body schema (the transport adds nothing to the wire format -- a request
+  body *is* ``SliceRequestV1.to_dict()``, a response body *is*
+  ``AdmissionTicket.to_dict()`` and so on);
+* the **error mapping** (:data:`STATUS_BY_CODE`): every structured
+  :class:`~repro.api.errors.BrokerError` crosses the wire as its
+  ``to_dict()`` JSON body under exactly one HTTP status code, and the client
+  rebuilds the typed exception with
+  :func:`~repro.api.errors.error_from_dict` -- a transport round trip
+  preserves the taxonomy;
+* the **idempotency-header contract**: a single submit carries its
+  per-tenant token in :data:`IDEMPOTENCY_HEADER`; a batch submit carries a
+  JSON array (one entry per request, ``null`` for tokenless) in
+  :data:`IDEMPOTENCY_BATCH_HEADER`.
+
+Endpoint table (see DESIGN.md, "Service transport"):
+
+======  ================================  =====================================
+Method  Path                              Operation (body -> response)
+======  ================================  =====================================
+POST    ``/v1/slices``                    submit (SliceRequestV1 -> AdmissionTicket, 201)
+POST    ``/v1/slices:batch``              submit_batch ({"requests": [...]} -> {"tickets": [...]}, 201)
+POST    ``/v1/quotes``                    quote (SliceRequestV1 -> QuoteResponse)
+GET     ``/v1/slices``                    list_slices (-> {"slices": [SliceStatus...]})
+GET     ``/v1/slices/{name}``             status (-> SliceStatus)
+POST    ``/v1/slices/{name}:release``     release ({"epoch": n} -> SliceStatus)
+POST    ``/v1/epochs``                    advance_epoch ({"epoch": n} -> EpochReport)
+GET     ``/v1/events?since={seq}``        event stream page (-> {"events": [...], "next": seq})
+GET     ``/v1/health``                    liveness/health snapshot
+======  ================================  =====================================
+
+The ``:batch`` / ``:release`` suffixes are custom-verb path segments (the
+ONAP/Google AIP style the exemplar ``instantiate_slice`` POST follows); they
+can never collide with a slice name because names are URL-quoted into the
+path, which escapes ``:``-bearing segments distinctly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+from urllib.parse import quote, unquote
+
+from repro.api.errors import BrokerError, ValidationError
+
+__all__ = [
+    "API_PREFIX",
+    "IDEMPOTENCY_HEADER",
+    "IDEMPOTENCY_BATCH_HEADER",
+    "JSON_CONTENT_TYPE",
+    "MAX_BODY_BYTES",
+    "DEFAULT_MAX_BATCH",
+    "ROUTES",
+    "STATUS_BY_CODE",
+    "status_for",
+    "error_body",
+    "encode_json",
+    "decode_json",
+    "slice_path",
+    "parse_slice_path",
+    "batch_tokens_from_header",
+]
+
+#: Version prefix of every route; bumping the wire format (WIRE_VERSION=2)
+#: would mount ``/v2/`` next to it rather than mutating these paths.
+API_PREFIX = "/v1"
+
+#: Header carrying the per-tenant idempotency token of a single submit.
+IDEMPOTENCY_HEADER = "Idempotency-Key"
+
+#: Header carrying the JSON array of per-request tokens of a batch submit
+#: (``null`` entries mean "no token for this request").
+IDEMPOTENCY_BATCH_HEADER = "Idempotency-Keys"
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Requests larger than this are rejected with a ``validation`` error before
+#: parsing (a transport-level guard against memory exhaustion, not a schema
+#: rule).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default bound on ``len(requests)`` per batch submit; oversized batches map
+#: to the ``validation`` error code (the payload violates a documented
+#: domain, it is not a transient capacity condition).
+DEFAULT_MAX_BATCH = 256
+
+#: (method, path template) per operation -- documentation and the basis of
+#: the server's dispatch; ``{name}`` marks the URL-quoted slice-name segment.
+ROUTES: dict[str, tuple[str, str]] = {
+    "submit": ("POST", f"{API_PREFIX}/slices"),
+    "submit_batch": ("POST", f"{API_PREFIX}/slices:batch"),
+    "quote": ("POST", f"{API_PREFIX}/quotes"),
+    "list_slices": ("GET", f"{API_PREFIX}/slices"),
+    "status": ("GET", f"{API_PREFIX}/slices/{{name}}"),
+    "release": ("POST", f"{API_PREFIX}/slices/{{name}}:release"),
+    "advance_epoch": ("POST", f"{API_PREFIX}/epochs"),
+    "events": ("GET", f"{API_PREFIX}/events"),
+    "health": ("GET", f"{API_PREFIX}/health"),
+}
+
+#: ``BrokerError.code`` -> HTTP status.  One status per code: clients may
+#: switch on either interchangeably.
+STATUS_BY_CODE: dict[str, int] = {
+    "validation": 400,
+    "not_found": 404,
+    "duplicate": 409,
+    "lifecycle": 409,
+    "capacity": 429,
+    "solver": 500,
+    "broker_error": 500,
+}
+
+
+def status_for(error: BrokerError) -> int:
+    """HTTP status of a structured broker error (500 for unknown codes)."""
+    return STATUS_BY_CODE.get(error.code, 500)
+
+
+def error_body(error: BrokerError) -> bytes:
+    """The JSON wire body of a structured broker error."""
+    return encode_json(error.to_dict())
+
+
+def encode_json(payload: Mapping[str, Any]) -> bytes:
+    """Canonical JSON encoding of a response/request body."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def decode_json(body: bytes, *, what: str = "request body") -> Any:
+    """Parse a JSON body, mapping malformed input to the ``validation`` code."""
+    if not body:
+        raise ValidationError(f"{what} must be a JSON document, got an empty body")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValidationError(f"malformed JSON {what}: {error}") from error
+
+
+def slice_path(name: str, *, verb: str | None = None) -> str:
+    """Path of one slice's resource, with the name URL-quoted.
+
+    ``quote(..., safe="")`` escapes ``/`` and ``:`` inside names, so a slice
+    named ``a:release`` yields ``/v1/slices/a%3Arelease`` -- distinct from
+    the custom-verb route ``/v1/slices/a:release``.
+    """
+    path = f"{API_PREFIX}/slices/{quote(name, safe='')}"
+    return f"{path}:{verb}" if verb else path
+
+
+def parse_slice_path(segment: str) -> tuple[str, str | None]:
+    """Split one ``/v1/slices/<segment>`` path segment into (name, verb).
+
+    The verb is the suffix after the last *unquoted* ``:`` (quoted colons
+    inside the name arrive as ``%3A`` and survive the split).
+    """
+    if ":" in segment:
+        raw_name, verb = segment.rsplit(":", 1)
+        return unquote(raw_name), verb
+    return unquote(segment), None
+
+
+def batch_tokens_from_header(value: str | None, count: int) -> list[str | None] | None:
+    """Decode the :data:`IDEMPOTENCY_BATCH_HEADER` value (JSON array).
+
+    Returns ``None`` when the header is absent; validates shape and length
+    against the number of requests in the batch body.
+    """
+    if value is None:
+        return None
+    try:
+        tokens = json.loads(value)
+    except json.JSONDecodeError as error:
+        raise ValidationError(
+            f"malformed {IDEMPOTENCY_BATCH_HEADER} header (must be a JSON "
+            f"array of tokens/nulls): {error}"
+        ) from error
+    if not isinstance(tokens, list) or not all(
+        token is None or isinstance(token, str) for token in tokens
+    ):
+        raise ValidationError(
+            f"{IDEMPOTENCY_BATCH_HEADER} header must be a JSON array of "
+            "strings or nulls"
+        )
+    if len(tokens) != count:
+        raise ValidationError(
+            f"{IDEMPOTENCY_BATCH_HEADER} header lists {len(tokens)} tokens "
+            f"for {count} requests",
+            details={"requests": count, "tokens": len(tokens)},
+        )
+    return tokens

@@ -1,0 +1,299 @@
+"""Concurrency safety of the SliceBroker facade: the idempotency-token race,
+admission-path locking under thread pools, intake backpressure, cache-limit
+validation, and the incremental replay-cache eviction."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import (
+    BrokerClient,
+    BrokerServer,
+    CapacityError,
+    SliceBroker,
+    SliceRequestV1,
+    ValidationError,
+)
+from repro.api.broker import _evict_oldest
+from repro.controlplane.slice_manager import SliceManager
+from repro.core.milp_solver import DirectMILPSolver
+from repro.topology import operators
+
+pytestmark = pytest.mark.transport
+
+
+def make_broker(**kwargs) -> SliceBroker:
+    return SliceBroker(
+        topology=operators.testbed_topology(), solver=DirectMILPSolver(), **kwargs
+    )
+
+
+def request(name: str, arrival: int = 0, duration: int = 2) -> SliceRequestV1:
+    return SliceRequestV1.of(
+        name, "uRLLC", duration_epochs=duration, arrival_epoch=arrival
+    )
+
+
+# --------------------------------------------------------------------- #
+# The idempotency-token race (satellite regression test)
+# --------------------------------------------------------------------- #
+class TestTokenRace:
+    def test_concurrent_same_token_submits_enqueue_exactly_once(self):
+        """Hammer one token from a thread pool: exactly one ticket may win
+        the enqueue; every other submit must replay that same ticket."""
+        broker = make_broker()
+        workers = 16
+        attempts = 64
+        barrier = threading.Barrier(workers)
+        payload = request("contended", arrival=9)
+
+        def hammer(_):
+            barrier.wait()
+            results = []
+            for _ in range(attempts // workers):
+                results.append(broker.submit(payload, client_token="tok"))
+            return results
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            tickets = [
+                ticket
+                for batch in pool.map(hammer, range(workers))
+                for ticket in batch
+            ]
+
+        assert len(tickets) == (attempts // workers) * workers
+        assert len({ticket.ticket_id for ticket in tickets}) == 1
+        assert all(ticket == tickets[0] for ticket in tickets)
+        assert broker.pending_count == 1
+        assert broker.status("contended").state == "queued"
+
+    def test_race_repeats_across_fresh_tokens(self):
+        """Many rounds, each its own token/name: one winner per round."""
+        broker = make_broker()
+        workers = 8
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for round_index in range(10):
+                payload = request(f"s{round_index}", arrival=9)
+                token = f"tok-{round_index}"
+                barrier = threading.Barrier(workers)
+
+                def submit_once(_):
+                    barrier.wait()
+                    return broker.submit(payload, client_token=token)
+
+                tickets = list(pool.map(submit_once, range(workers)))
+                assert len({t.ticket_id for t in tickets}) == 1
+        assert broker.pending_count == 10
+
+    def test_concurrent_distinct_submits_all_win_unique_tickets(self):
+        broker = make_broker()
+        count = 64
+        barrier = threading.Barrier(16)
+
+        def submit_one(index):
+            if index < 16:
+                barrier.wait()
+            return broker.submit(request(f"s{index}", arrival=9), client_token=f"t{index}")
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            tickets = list(pool.map(submit_one, range(count)))
+        assert len({t.ticket_id for t in tickets}) == count
+        assert broker.pending_count == count
+
+    def test_same_token_race_over_the_wire(self):
+        """The transport inherits the guarantee: concurrent HTTP sessions
+        replaying one idempotency token receive one identical ticket."""
+        broker = make_broker()
+        payload = request("contended", arrival=9)
+        workers = 8
+        with BrokerServer(broker) as server:
+            barrier = threading.Barrier(workers)
+
+            def session(_):
+                with BrokerClient(server.host, server.port) as client:
+                    barrier.wait()
+                    return client.submit(payload, client_token="tok")
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                tickets = list(pool.map(session, range(workers)))
+        assert len({t.ticket_id for t in tickets}) == 1
+        assert broker.pending_count == 1
+
+
+# --------------------------------------------------------------------- #
+# Intake backpressure
+# --------------------------------------------------------------------- #
+class TestBackpressure:
+    def test_bound_is_enforced_under_concurrency(self):
+        bound = 8
+        broker = make_broker(max_pending=bound)
+        outcomes = []
+        lock = threading.Lock()
+
+        def submit_one(index):
+            try:
+                ticket = broker.submit(request(f"s{index}", arrival=9))
+                with lock:
+                    outcomes.append(("ok", ticket.slice_name))
+            except CapacityError as error:
+                with lock:
+                    outcomes.append(("shed", error.details["max_pending"]))
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            list(pool.map(submit_one, range(32)))
+
+        accepted = [entry for entry in outcomes if entry[0] == "ok"]
+        shed = [entry for entry in outcomes if entry[0] == "shed"]
+        assert len(accepted) == bound
+        assert len(shed) == 32 - bound
+        assert all(entry[1] == bound for entry in shed)
+        assert broker.pending_count == bound
+
+    def test_rejected_submit_leaves_no_trace(self):
+        broker = make_broker(max_pending=1)
+        broker.submit(request("a", arrival=9))
+        with pytest.raises(CapacityError):
+            broker.submit(request("b", arrival=9), client_token="t-b")
+        # The shed submission neither queued nor burned its token.
+        with pytest.raises(Exception):
+            broker.status("b")
+        broker.advance_epoch(0)  # drains nothing (arrival 9) but token stays free
+        broker.release("a", epoch=0)
+        assert broker.submit(request("b", arrival=9), client_token="t-b").slice_name == "b"
+
+    def test_batch_rollback_respects_bound(self):
+        broker = make_broker(max_pending=2)
+        with pytest.raises(CapacityError):
+            broker.submit_batch(
+                [request("a", arrival=9), request("b", arrival=9), request("c", arrival=9)]
+            )
+        assert broker.pending_count == 0
+        # The bound itself still admits a fitting batch afterwards.
+        assert len(broker.submit_batch([request("a", arrival=9), request("b", arrival=9)])) == 2
+
+    def test_unbounded_by_default(self):
+        broker = make_broker()
+        for index in range(64):
+            broker.submit(request(f"s{index}", arrival=9))
+        assert broker.pending_count == 64
+
+
+# --------------------------------------------------------------------- #
+# Constructor validation (satellite: cache_limit >= 1)
+# --------------------------------------------------------------------- #
+class TestLimitsValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -65536])
+    def test_cache_limit_below_one_is_rejected(self, bad):
+        with pytest.raises(ValidationError, match="cache_limit"):
+            make_broker(cache_limit=bad)
+
+    def test_cache_limit_one_preserves_same_call_replay(self):
+        broker = make_broker(cache_limit=1)
+        first = broker.submit(request("a", arrival=9), client_token="t-a")
+        assert broker.submit(request("a", arrival=9), client_token="t-a") == first
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_max_pending_below_one_is_rejected(self, bad):
+        with pytest.raises(ValidationError, match="max_pending"):
+            make_broker(max_pending=bad)
+
+    def test_evict_oldest_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            _evict_oldest({"a": 1}, 0)
+
+
+# --------------------------------------------------------------------- #
+# Incremental replay-cache eviction (satellite: no-behavior-change + cost)
+# --------------------------------------------------------------------- #
+class TestIncrementalEviction:
+    def test_behavior_unchanged_collected_evicted_oldest_first(self):
+        broker = make_broker(cache_limit=2)
+        broker.submit(request("old1", duration=4), client_token="t-old1")
+        broker.submit(request("old2", duration=4), client_token="t-old2")
+        broker.advance_epoch(0)  # both collected: tokens now evictable
+        broker.submit(request("e", arrival=9), client_token="t-e")
+        assert "t-old1" not in broker._tickets_by_token
+        assert {"t-old2", "t-e"} <= set(broker._tickets_by_token)
+        broker.submit(request("f", arrival=9), client_token="t-f")
+        assert "t-old2" not in broker._tickets_by_token
+        assert set(broker._tickets_by_token) == {"t-e", "t-f"}
+
+    def test_behavior_unchanged_queued_tokens_never_evicted(self):
+        broker = make_broker(cache_limit=2)
+        first = broker.submit(request("a", arrival=9), client_token="t-a")
+        broker.submit(request("b", arrival=9), client_token="t-b")
+        broker.submit(request("c", arrival=9), client_token="t-c")
+        # All three still queued: over-limit, but every retry must replay.
+        assert len(broker._tickets_by_token) == 3
+        assert broker.submit(request("a", arrival=9), client_token="t-a") == first
+
+    def test_mixed_cache_settles_exactly_at_limit(self):
+        broker = make_broker(cache_limit=3)
+        broker.submit(request("live", arrival=9), client_token="t-live")
+        for index in range(6):
+            broker.submit(request(f"c{index}", duration=4), client_token=f"t-c{index}")
+            broker.advance_epoch(index)  # collect immediately: token evictable
+        # The queued token survives every eviction wave; the cache holds
+        # exactly the limit, ending with the newest evictable entries.
+        assert len(broker._tickets_by_token) == 3
+        assert "t-live" in broker._tickets_by_token
+
+    def test_eviction_does_not_rescan_the_intake_queue(self, monkeypatch):
+        """The O(queue + cache) rebuild is gone: over-limit submits never
+        touch ``pending_requests`` (the queued-token track answers in O(1))."""
+        broker = make_broker(cache_limit=4)
+        for index in range(4):
+            broker.submit(request(f"c{index}", duration=4), client_token=f"t-{index}")
+        broker.advance_epoch(0)  # all collected -> evictable
+
+        accesses = 0
+        original = SliceManager.pending_requests.fget
+
+        def counting(self):
+            nonlocal accesses
+            accesses += 1
+            return original(self)
+
+        monkeypatch.setattr(SliceManager, "pending_requests", property(counting))
+        for index in range(16):
+            broker.submit(request(f"n{index}", arrival=9), client_token=f"t-n{index}")
+        assert accesses == 0
+
+    def test_full_pass_guard_terminates_when_everything_is_queued(self):
+        broker = make_broker(cache_limit=1)
+        for index in range(32):
+            broker.submit(request(f"s{index}", arrival=9), client_token=f"t-{index}")
+        # Nothing is evictable (all queued): the scan stops after one pass,
+        # the cache is bounded by the real queue length, replays all work.
+        assert len(broker._tickets_by_token) == 32
+        assert broker.pending_count == 32
+
+
+# --------------------------------------------------------------------- #
+# Mixed concurrent traffic over one broker
+# --------------------------------------------------------------------- #
+class TestMixedTraffic:
+    def test_reads_and_writes_interleave_safely(self):
+        broker = make_broker()
+        errors = []
+
+        def tenant(index):
+            try:
+                name = f"s{index}"
+                broker.submit(request(name, arrival=9), client_token=f"t{index}")
+                broker.status(name)
+                broker.quote(request(name, arrival=9))
+                broker.list_slices()
+                if index % 3 == 0:
+                    broker.release(name, epoch=0)
+            except Exception as error:  # noqa: BLE001 -- collected for the assert
+                errors.append(error)
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            list(pool.map(tenant, range(48)))
+        assert errors == []
+        released = sum(1 for index in range(48) if index % 3 == 0)
+        assert broker.pending_count == 48 - released
