@@ -1,0 +1,220 @@
+"""RA02 -- stable error taxonomy at the northbound API boundary.
+
+The PR 5 contract (DESIGN.md, "Error taxonomy"): every failure crossing the
+``repro/api/`` boundary is a :class:`~repro.api.errors.BrokerError` subclass
+carrying a stable machine-readable ``code``; bare builtin exceptions never
+leak northbound.  The PR 8 transport additionally promises exactly one HTTP
+status per code (``transport.STATUS_BY_CODE``).
+
+Mechanically, over every module under ``repro/api/``:
+
+* ``raise ValueError/RuntimeError/KeyError/TypeError/Exception(...)`` (with
+  or without arguments) is a finding -- boundary code raises taxonomy
+  errors, internal exceptions are translated at the edge.
+  Genuinely internal guards (a helper's cannot-happen assertion) are
+  grandfathered in ``analysis-baseline.toml`` with a justification, never
+  silently exempted here;
+* every ``BrokerError`` subclass in the errors module must override ``code``
+  and be registered in the ``ERROR_TYPES`` decode table;
+* every registered ``code`` must have an entry in the transport's
+  ``STATUS_BY_CODE`` mapping (one status per code is the wire contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Checker, Finding, ProjectTree, ScopedVisitor, SourceModule
+
+#: Package prefix of the boundary modules (matched against module paths).
+API_PACKAGE_FRAGMENT = "repro/api/"
+
+#: Module declaring the taxonomy.
+ERRORS_MODULE_SUFFIX = "repro/api/errors.py"
+
+#: Module declaring the one-status-per-code wire mapping.
+TRANSPORT_MODULE_SUFFIX = "repro/api/transport.py"
+
+#: Builtin exception types that must not cross the boundary un-translated.
+FORBIDDEN_RAISES = frozenset(
+    {"ValueError", "RuntimeError", "KeyError", "TypeError", "Exception"}
+)
+
+#: Root class of the taxonomy.
+BASE_ERROR_CLASS = "BrokerError"
+
+
+class _RaiseScanner(ScopedVisitor):
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits: list[tuple[ast.Raise, str, str]] = []
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name: str | None = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in FORBIDDEN_RAISES:
+            self.hits.append((node, self.symbol, name))
+        self.generic_visit(node)
+
+
+def _class_code_attr(cls: ast.ClassDef) -> str | None:
+    """The literal value of a ``code = "..."`` class attribute, if any."""
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "code":
+                    if isinstance(item.value, ast.Constant) and isinstance(
+                        item.value.value, str
+                    ):
+                        return item.value.value
+    return None
+
+
+def _broker_error_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes deriving (transitively, within the module) from BrokerError."""
+    by_name = {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+    subclasses: set[str] = {BASE_ERROR_CLASS}
+    # Fixed-point over single-module inheritance chains.
+    changed = True
+    while changed:
+        changed = False
+        for cls in by_name.values():
+            if cls.name in subclasses:
+                continue
+            for base in cls.bases:
+                if isinstance(base, ast.Name) and base.id in subclasses:
+                    subclasses.add(cls.name)
+                    changed = True
+    return [
+        by_name[name]
+        for name in by_name
+        if name in subclasses and name != BASE_ERROR_CLASS
+    ]
+
+
+def _registered_class_names(tree: ast.Module) -> set[str]:
+    """Class names listed in the ``ERROR_TYPES`` registration tuple."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "ERROR_TYPES" for t in targets
+        ):
+            continue
+        return {
+            inner.id
+            for inner in ast.walk(value)
+            if isinstance(inner, ast.Name) and inner.id != "cls"
+        }
+    return set()
+
+
+def _status_codes(tree: ast.Module) -> set[str] | None:
+    """String keys of the ``STATUS_BY_CODE`` dict literal (None if absent)."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is not None and any(
+            isinstance(t, ast.Name) and t.id == "STATUS_BY_CODE" for t in targets
+        ):
+            if isinstance(value, ast.Dict):
+                return {
+                    key.value
+                    for key in value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                }
+    return None
+
+
+class ErrorTaxonomyChecker(Checker):
+    rule = "RA02"
+    title = "BrokerError taxonomy at the repro/api boundary"
+    description = (
+        "repro/api modules must raise BrokerError subclasses, never bare "
+        "ValueError/RuntimeError/KeyError/TypeError; every subclass must "
+        "override .code, be registered in ERROR_TYPES, and have a "
+        "STATUS_BY_CODE entry."
+    )
+
+    def check(self, tree: ProjectTree) -> Iterator[Finding]:
+        for module in tree.modules:
+            if API_PACKAGE_FRAGMENT in module.path:
+                yield from self._check_raises(module)
+        errors_module = tree.find(ERRORS_MODULE_SUFFIX)
+        if errors_module is not None:
+            yield from self._check_registry(tree, errors_module)
+
+    def _check_raises(self, module: SourceModule) -> Iterator[Finding]:
+        scanner = _RaiseScanner()
+        scanner.visit(module.tree)
+        for node, symbol, name in scanner.hits:
+            yield self.finding(
+                module,
+                node,
+                symbol,
+                f"bare `raise {name}` inside the repro/api boundary; raise a "
+                "BrokerError subclass (or translate at the caller) so the "
+                "stable error taxonomy holds northbound",
+            )
+
+    def _check_registry(
+        self, tree: ProjectTree, errors_module: SourceModule
+    ) -> Iterator[Finding]:
+        classes = _broker_error_classes(errors_module.tree)
+        registered = _registered_class_names(errors_module.tree)
+        codes: list[tuple[ast.ClassDef, str]] = []
+        for cls in classes:
+            code = _class_code_attr(cls)
+            symbol = cls.name
+            if code is None:
+                yield self.finding(
+                    errors_module,
+                    cls,
+                    symbol,
+                    f"{cls.name} subclasses {BASE_ERROR_CLASS} but does not "
+                    "override the stable `code` attribute",
+                )
+                continue
+            codes.append((cls, code))
+            if registered and cls.name not in registered:
+                yield self.finding(
+                    errors_module,
+                    cls,
+                    symbol,
+                    f"{cls.name} (code {code!r}) is not registered in "
+                    "ERROR_TYPES; wire-form decoding would fall back to the "
+                    "base BrokerError",
+                )
+        transport = tree.find(TRANSPORT_MODULE_SUFFIX)
+        if transport is None:
+            return
+        statuses = _status_codes(transport.tree)
+        if statuses is None:
+            return
+        for cls, code in codes:
+            if code not in statuses:
+                yield self.finding(
+                    errors_module,
+                    cls,
+                    cls.name,
+                    f"error code {code!r} has no STATUS_BY_CODE entry in the "
+                    "transport; every code maps to exactly one HTTP status",
+                )

@@ -68,14 +68,19 @@ class SliceRequestV1:
     arrival_epoch: int = 0
 
     def __post_init__(self) -> None:
+        # Structured taxonomy errors even on *direct* construction: the DTO
+        # is itself the northbound boundary, so a tenant building one with a
+        # bad field must see `code == "validation"`, not a bare ValueError
+        # (RA02; the `of`/`from_dict` paths already translated, the plain
+        # constructor leaked).
         if not self.name:
-            raise ValueError("slice name must be non-empty")
+            raise ValidationError("slice name must be non-empty")
         if self.duration_epochs <= 0:
-            raise ValueError("duration_epochs must be positive")
+            raise ValidationError("duration_epochs must be positive")
         if self.penalty_factor < 0:
-            raise ValueError("penalty_factor must be non-negative")
+            raise ValidationError("penalty_factor must be non-negative")
         if self.arrival_epoch < 0:
-            raise ValueError("arrival_epoch must be non-negative")
+            raise ValidationError("arrival_epoch must be non-negative")
 
     # -- conversions ---------------------------------------------------- #
     @classmethod
@@ -259,7 +264,7 @@ class SliceStatus:
 
     def __post_init__(self) -> None:
         if self.state not in STATUS_STATES:
-            raise ValueError(
+            raise ValidationError(
                 f"unknown slice status state {self.state!r}; expected one of {STATUS_STATES}"
             )
 

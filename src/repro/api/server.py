@@ -33,7 +33,7 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api.broker import SliceBroker
-from repro.api.errors import BrokerError, NotFoundError, ValidationError
+from repro.api.errors import BrokerError, LifecycleError, NotFoundError, ValidationError
 from repro.api.events import LifecycleEvent
 from repro.api.transport import (
     API_PREFIX,
@@ -200,6 +200,7 @@ class BrokerServer:
         self._http = _BrokerHTTPServer((host, port), _BrokerRequestHandler)
         self._http.api = self
         self._thread: threading.Thread | None = None
+        self._stopped = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -218,7 +219,21 @@ class BrokerServer:
 
     def start(self) -> "BrokerServer":
         if self._thread is not None:
-            raise RuntimeError("BrokerServer is already running")
+            # Double-start is an operation illegal in the server's current
+            # state; keep it inside the structured taxonomy (RA02) rather
+            # than leaking a bare RuntimeError through the api package.
+            raise LifecycleError(
+                "BrokerServer is already running", details={"url": self.url}
+            )
+        if self._stopped:
+            # stop() closes the listening socket, which was bound (possibly
+            # to an ephemeral port) in __init__ -- a restarted thread would
+            # serve_forever on a dead fd and every request would fail.  Fail
+            # the start loudly instead of pretending to listen.
+            raise LifecycleError(
+                "BrokerServer has been stopped and cannot be restarted; "
+                "construct a new server instead"
+            )
         self._thread = threading.Thread(
             target=self._http.serve_forever,
             name=f"broker-server-{self.port}",
@@ -234,6 +249,7 @@ class BrokerServer:
         self._thread.join()
         self._http.server_close()
         self._thread = None
+        self._stopped = True
 
     def __enter__(self) -> "BrokerServer":
         return self.start()

@@ -251,7 +251,7 @@ def _entry(name: str) -> CampaignEntry:
     except KeyError:
         raise SystemExit(
             f"unknown campaign {name!r}; choose from {', '.join(sorted(CAMPAIGNS))}"
-        )
+        ) from None
 
 
 def cmd_list(args: argparse.Namespace, out) -> int:

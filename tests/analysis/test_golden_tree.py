@@ -1,0 +1,64 @@
+"""Golden run: the committed tree must be clean under the committed baseline.
+
+This is the in-process twin of the CI `analysis` job.  It fails when a new
+violation lands, when a baseline entry goes stale, or when the baseline file
+itself is malformed -- keeping `analysis-baseline.toml` honest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, ProjectTree, run_checkers
+from repro.analysis.core import BASELINE_FILENAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return ProjectTree.load(REPO_ROOT)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return Baseline.parse((REPO_ROOT / BASELINE_FILENAME).read_text(encoding="utf-8"))
+
+
+class TestGoldenTree:
+    def test_committed_tree_is_clean(self, tree, baseline):
+        report = run_checkers(tree, baseline=baseline)
+        assert report.clean, "\n" + report.render()
+
+    def test_every_baseline_entry_is_exercised(self, tree, baseline):
+        """Each committed suppression must match a live finding (no drift)."""
+        report = run_checkers(tree, baseline=baseline)
+        assert len(report.suppressed) == len(baseline.entries)
+
+    def test_added_bogus_entry_is_reported_stale(self, tree, baseline):
+        padded = Baseline(
+            [
+                *baseline.entries,
+                BaselineEntry(
+                    "RA01",
+                    "src/repro/api/broker.py",
+                    "SliceBroker.no_such_method",
+                    "synthetic staleness probe",
+                ),
+            ]
+        )
+        report = run_checkers(tree, baseline=padded)
+        assert not report.clean
+        assert [e.symbol for e in report.stale_entries] == [
+            "SliceBroker.no_such_method"
+        ]
+
+    def test_tree_covers_the_full_source_layout(self, tree):
+        """Sanity-guard: the loader actually walked src/ (not an empty glob)."""
+        paths = {module.path for module in tree.modules}
+        assert any(p.endswith("repro/api/broker.py") for p in paths)
+        assert any(p.endswith("repro/core/benders.py") for p in paths)
+        assert len(paths) > 50
+        assert tree.document("DESIGN.md")

@@ -1,0 +1,504 @@
+"""Fixture-driven tests per rule: each RA01-RA05 checker must fire on its
+minimal offending snippet and stay silent on the minimal clean one.
+
+Fixtures are compiled from strings into in-memory :class:`ProjectTree`
+objects; the golden run over the real tree lives in test_golden_tree.py.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ProjectTree
+from repro.analysis.ra01_locks import LockDisciplineChecker
+from repro.analysis.ra02_errors import ErrorTaxonomyChecker
+from repro.analysis.ra03_determinism import DeterminismChecker
+from repro.analysis.ra04_wire import WireContractChecker
+from repro.analysis.ra05_executors import ExecutorSafetyChecker
+
+
+def findings_for(checker, sources, documents=None):
+    tree = ProjectTree.from_sources(sources, documents)
+    return list(checker.check(tree))
+
+
+# --------------------------------------------------------------------- #
+# RA01 -- lock discipline
+# --------------------------------------------------------------------- #
+BROKER_PATH = "src/repro/api/broker.py"
+
+RA01_OFFENDING = '''
+import threading
+
+class SliceBroker:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def submit(self, request):
+        self._tickets = {}
+        return request
+'''
+
+RA01_PURE_READ_LOCKS = '''
+class SliceBroker:
+    def quote(self, request):
+        with self._lock:
+            return request
+'''
+
+RA01_CLEAN = '''
+import functools
+import threading
+
+def _synchronized(method):
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+    return wrapper
+
+class SliceBroker:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    @_synchronized
+    def release(self, name):
+        self._released = name
+
+    def submit(self, request):
+        with self._lock:
+            return request
+
+    def submit_batch(self, requests):
+        self._lock.acquire()
+        try:
+            return list(requests)
+        finally:
+            self._lock.release()
+
+    @property
+    def pending_count(self):
+        return 0
+
+    def quote(self, request):
+        return request
+
+    def _helper(self):
+        self._internal = 1
+'''
+
+
+class TestRA01:
+    def test_unlocked_mutating_method_fires(self):
+        found = findings_for(LockDisciplineChecker(), {BROKER_PATH: RA01_OFFENDING})
+        assert [f.symbol for f in found] == ["SliceBroker.submit"]
+        assert "admission lock" in found[0].message
+
+    def test_pure_read_taking_the_lock_fires(self):
+        found = findings_for(LockDisciplineChecker(), {BROKER_PATH: RA01_PURE_READ_LOCKS})
+        assert [f.symbol for f in found] == ["SliceBroker.quote"]
+        assert "pure read" in found[0].message
+
+    def test_clean_broker_passes(self):
+        assert findings_for(LockDisciplineChecker(), {BROKER_PATH: RA01_CLEAN}) == []
+
+    def test_other_modules_ignored(self):
+        assert (
+            findings_for(
+                LockDisciplineChecker(), {"src/repro/core/x.py": RA01_OFFENDING}
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# RA02 -- error taxonomy
+# --------------------------------------------------------------------- #
+RA02_OFFENDING = '''
+def handler(payload):
+    if not payload:
+        raise ValueError("empty payload")
+'''
+
+RA02_CLEAN = '''
+from repro.api.errors import ValidationError
+
+def handler(payload):
+    if not payload:
+        raise ValidationError("empty payload")
+'''
+
+RA02_ERRORS_UNREGISTERED = '''
+class BrokerError(Exception):
+    code = "broker_error"
+
+class ShinyError(BrokerError):
+    code = "shiny"
+
+ERROR_TYPES = {cls.code: cls for cls in (BrokerError,)}
+'''
+
+RA02_ERRORS_NO_CODE = '''
+class BrokerError(Exception):
+    code = "broker_error"
+
+class SilentError(BrokerError):
+    pass
+
+ERROR_TYPES = {cls.code: cls for cls in (BrokerError, SilentError)}
+'''
+
+RA02_ERRORS_OK = '''
+class BrokerError(Exception):
+    code = "broker_error"
+
+class ShinyError(BrokerError):
+    code = "shiny"
+
+ERROR_TYPES = {cls.code: cls for cls in (BrokerError, ShinyError)}
+'''
+
+RA02_TRANSPORT_MISSING = '''
+STATUS_BY_CODE: dict[str, int] = {
+    "broker_error": 500,
+}
+'''
+
+RA02_TRANSPORT_OK = '''
+STATUS_BY_CODE: dict[str, int] = {
+    "broker_error": 500,
+    "shiny": 418,
+}
+'''
+
+
+class TestRA02:
+    def test_bare_raise_in_api_module_fires(self):
+        found = findings_for(
+            ErrorTaxonomyChecker(), {"src/repro/api/handlers.py": RA02_OFFENDING}
+        )
+        assert [f.symbol for f in found] == ["handler"]
+        assert "raise ValueError" in found[0].message
+
+    def test_taxonomy_raise_passes(self):
+        assert (
+            findings_for(
+                ErrorTaxonomyChecker(), {"src/repro/api/handlers.py": RA02_CLEAN}
+            )
+            == []
+        )
+
+    def test_bare_raise_outside_api_ignored(self):
+        assert (
+            findings_for(
+                ErrorTaxonomyChecker(), {"src/repro/core/solver.py": RA02_OFFENDING}
+            )
+            == []
+        )
+
+    def test_unregistered_subclass_fires(self):
+        found = findings_for(
+            ErrorTaxonomyChecker(), {"src/repro/api/errors.py": RA02_ERRORS_UNREGISTERED}
+        )
+        assert any("ERROR_TYPES" in f.message for f in found)
+
+    def test_subclass_without_code_fires(self):
+        found = findings_for(
+            ErrorTaxonomyChecker(), {"src/repro/api/errors.py": RA02_ERRORS_NO_CODE}
+        )
+        assert any("override the stable `code`" in f.message for f in found)
+
+    def test_code_without_status_mapping_fires(self):
+        found = findings_for(
+            ErrorTaxonomyChecker(),
+            {
+                "src/repro/api/errors.py": RA02_ERRORS_OK,
+                "src/repro/api/transport.py": RA02_TRANSPORT_MISSING,
+            },
+        )
+        assert any("STATUS_BY_CODE" in f.message for f in found)
+
+    def test_registered_and_mapped_code_passes(self):
+        assert (
+            findings_for(
+                ErrorTaxonomyChecker(),
+                {
+                    "src/repro/api/errors.py": RA02_ERRORS_OK,
+                    "src/repro/api/transport.py": RA02_TRANSPORT_OK,
+                },
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# RA03 -- determinism
+# --------------------------------------------------------------------- #
+RA03_WALL_CLOCK = '''
+import time
+
+def sample(seed):
+    return time.time()
+'''
+
+RA03_GLOBAL_RNG = '''
+import random
+
+def sample():
+    return random.random()
+'''
+
+RA03_UNSEEDED_NUMPY = '''
+import numpy as np
+
+def sample():
+    return np.random.default_rng()
+'''
+
+RA03_LEGACY_NUMPY = '''
+import numpy as np
+
+def sample():
+    return np.random.rand(3)
+'''
+
+RA03_SET_ITERATION = '''
+def fingerprint(names):
+    return [n for n in set(names)]
+'''
+
+RA03_CLEAN = '''
+import numpy as np
+
+def sample(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()
+
+def fingerprint(names):
+    return [n for n in sorted(set(names))]
+
+def membership(name, names):
+    return name in set(names)
+'''
+
+RA03_TIMING_ALLOWED = '''
+import time
+
+class BendersSolver:
+    def solve(self, problem):
+        start = time.perf_counter()
+        return time.perf_counter() - start
+'''
+
+RA03_TIMING_FORBIDDEN = '''
+import time
+
+def hash_inputs(spec):
+    return time.perf_counter()
+'''
+
+
+class TestRA03:
+    def _run(self, source, path="src/repro/core/sampler.py"):
+        return findings_for(DeterminismChecker(), {path: source})
+
+    def test_wall_clock_fires(self):
+        found = self._run(RA03_WALL_CLOCK)
+        assert any("wall-clock" in f.message for f in found)
+
+    def test_stdlib_global_rng_fires(self):
+        found = self._run(RA03_GLOBAL_RNG)
+        assert any("unseeded global-RNG" in f.message for f in found)
+
+    def test_unseeded_default_rng_fires(self):
+        found = self._run(RA03_UNSEEDED_NUMPY)
+        assert any("without a seed" in f.message for f in found)
+
+    def test_legacy_numpy_global_rng_fires(self):
+        found = self._run(RA03_LEGACY_NUMPY)
+        assert any("legacy numpy global-RNG" in f.message for f in found)
+
+    def test_set_iteration_fires(self):
+        found = self._run(RA03_SET_ITERATION)
+        assert any("unordered set" in f.message for f in found)
+
+    def test_seeded_sorted_and_membership_pass(self):
+        assert self._run(RA03_CLEAN) == []
+
+    def test_timer_at_declared_site_passes(self):
+        assert self._run(RA03_TIMING_ALLOWED, path="src/repro/core/benders.py") == []
+
+    def test_timer_at_undeclared_site_fires(self):
+        found = self._run(RA03_TIMING_FORBIDDEN)
+        assert any("TIMING_ALLOWLIST" in f.message for f in found)
+
+    def test_outside_deterministic_subtree_ignored(self):
+        assert (
+            findings_for(
+                DeterminismChecker(), {"src/repro/api/server.py": RA03_WALL_CLOCK}
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# RA04 -- wire contract
+# --------------------------------------------------------------------- #
+RA04_UNREAD_KEY = '''
+def stamp(payload):
+    payload["schema_version"] = 1
+    return payload
+
+class Report:
+    def to_dict(self):
+        return stamp({"epoch": self.epoch, "extra": self.extra})
+
+    @classmethod
+    def from_dict(cls, payload):
+        if payload.get("schema_version") != 1:
+            raise ValueError("bad version")
+        return cls(epoch=int(payload["epoch"]))
+'''
+
+RA04_NO_FROM_DICT = '''
+class Report:
+    def to_dict(self):
+        return {"schema_version": 1, "epoch": self.epoch}
+'''
+
+RA04_CLEAN = '''
+class Report:
+    def to_dict(self):
+        return {"schema_version": 1, "epoch": self.epoch, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, payload):
+        if payload.get("schema_version") != 1:
+            raise ValueError("bad version")
+        return cls(epoch=int(payload["epoch"]), note=payload.get("note", ""))
+'''
+
+RA04_DELEGATED = '''
+class Plan:
+    def payload(self):
+        return {"schema_version": 1, "seed": self.seed, "ghost": 1}
+
+    def to_dict(self):
+        return self.payload()
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(seed=int(payload.get("seed", 0)))
+'''
+
+RA04_UNVERSIONED = '''
+class Config:
+    def to_dict(self):
+        return {"workers": self.workers}
+'''
+
+RA04_ERRORS = '''
+class BrokerError(Exception):
+    code = "broker_error"
+
+class ShinyError(BrokerError):
+    code = "shiny_new"
+'''
+
+DESIGN_WITH_CODE = "| `ShinyError` | `shiny_new` | something new |\n| `BrokerError` | `broker_error` | base |"
+DESIGN_WITHOUT_CODE = "| `BrokerError` | `broker_error` | base |"
+
+
+class TestRA04:
+    def test_written_but_unread_key_fires(self):
+        found = findings_for(WireContractChecker(), {"src/repro/api/d.py": RA04_UNREAD_KEY})
+        assert [f.symbol for f in found] == ["Report.from_dict"]
+        assert "'extra'" in found[0].message
+
+    def test_missing_from_dict_fires(self):
+        found = findings_for(WireContractChecker(), {"src/repro/api/d.py": RA04_NO_FROM_DICT})
+        assert any("no from_dict" in f.message for f in found)
+
+    def test_round_tripping_class_passes(self):
+        assert findings_for(WireContractChecker(), {"src/repro/api/d.py": RA04_CLEAN}) == []
+
+    def test_delegated_payload_keys_are_checked(self):
+        found = findings_for(WireContractChecker(), {"src/repro/faults/p.py": RA04_DELEGATED})
+        assert any("'ghost'" in f.message for f in found)
+
+    def test_unversioned_class_is_out_of_scope(self):
+        assert (
+            findings_for(WireContractChecker(), {"src/repro/util.py": RA04_UNVERSIONED})
+            == []
+        )
+
+    def test_error_code_missing_from_design_fires(self):
+        found = findings_for(
+            WireContractChecker(),
+            {"src/repro/api/errors.py": RA04_ERRORS},
+            documents={"DESIGN.md": DESIGN_WITHOUT_CODE},
+        )
+        assert any("shiny_new" in f.message for f in found)
+
+    def test_error_code_documented_in_design_passes(self):
+        assert (
+            findings_for(
+                WireContractChecker(),
+                {"src/repro/api/errors.py": RA04_ERRORS},
+                documents={"DESIGN.md": DESIGN_WITH_CODE},
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# RA05 -- executor safety
+# --------------------------------------------------------------------- #
+RA05_LAMBDA = '''
+def sweep(executor, items):
+    return executor.map(lambda item: item * 2, items)
+'''
+
+RA05_CLOSURE = '''
+def sweep(executor, items, scale):
+    def run(item):
+        return item * scale
+    return executor.map(run, items)
+'''
+
+RA05_BOUND_METHOD = '''
+class Orchestrator:
+    def sweep(self, executor, items):
+        return executor.map(self.solver.solve, items)
+'''
+
+RA05_CLEAN = '''
+from functools import partial
+
+def run_one(item):
+    return item * 2
+
+def sweep(executor, items):
+    return executor.map(run_one, items)
+
+def sweep_partial(executor, items):
+    return executor.map(partial(run_one), items)
+
+def unrelated(mapping, items):
+    return mapping.map(lambda item: item, items)
+'''
+
+
+class TestRA05:
+    def test_lambda_fires(self):
+        found = findings_for(ExecutorSafetyChecker(), {"src/repro/x.py": RA05_LAMBDA})
+        assert any("lambda" in f.message for f in found)
+
+    def test_local_closure_fires(self):
+        found = findings_for(ExecutorSafetyChecker(), {"src/repro/x.py": RA05_CLOSURE})
+        assert any("closure 'run'" in f.message for f in found)
+
+    def test_bound_method_fires(self):
+        found = findings_for(ExecutorSafetyChecker(), {"src/repro/x.py": RA05_BOUND_METHOD})
+        assert any("bound method" in f.message for f in found)
+
+    def test_module_level_and_partial_pass(self):
+        assert findings_for(ExecutorSafetyChecker(), {"src/repro/x.py": RA05_CLEAN}) == []

@@ -246,14 +246,14 @@ class TestTimeTruncation:
 
 class TestMultiCutSolver:
     def test_multi_cut_matches_single_cut_and_milp(self, mixed_problem):
-        kwargs = dict(
-            tolerance=1e-9,
-            relative_tolerance=1e-9,
-            max_iterations=30,
-            master_time_limit_s=None,
-            time_limit_s=None,
-            warm_start=False,
-        )
+        kwargs = {
+            "tolerance": 1e-9,
+            "relative_tolerance": 1e-9,
+            "max_iterations": 30,
+            "master_time_limit_s": None,
+            "time_limit_s": None,
+            "warm_start": False,
+        }
         single = BendersSolver(**kwargs).solve(mixed_problem)
         multi = BendersSolver(multi_cut=True, **kwargs).solve(mixed_problem)
         milp = DirectMILPSolver(time_limit_s=None, mip_rel_gap=1e-9).solve(

@@ -10,22 +10,22 @@ from repro.topology.operators import ROMANIAN_PROFILE
 
 
 def small_profile(**overrides):
-    base = dict(
-        name="test-op",
-        num_base_stations=12,
-        num_aggregation_switches=3,
-        num_hubs=1,
-        bs_degree_choices=(1, 2),
-        bs_degree_weights=(0.5, 0.5),
-        bs_capacity_mhz_range=(20.0, 20.0),
-        city_radius_km=5.0,
-        access_technology_mix=((LinkTechnology.FIBER, 1.0),),
-        access_capacity_mbps={LinkTechnology.FIBER: (1000.0, 2000.0)},
-        aggregation_capacity_mbps=(5000.0, 5000.0),
-        aggregation_technology=LinkTechnology.FIBER,
-        hub_capacity_mbps=(10000.0, 10000.0),
-        hub_technology=LinkTechnology.FIBER,
-    )
+    base = {
+        "name": "test-op",
+        "num_base_stations": 12,
+        "num_aggregation_switches": 3,
+        "num_hubs": 1,
+        "bs_degree_choices": (1, 2),
+        "bs_degree_weights": (0.5, 0.5),
+        "bs_capacity_mhz_range": (20.0, 20.0),
+        "city_radius_km": 5.0,
+        "access_technology_mix": ((LinkTechnology.FIBER, 1.0),),
+        "access_capacity_mbps": {LinkTechnology.FIBER: (1000.0, 2000.0)},
+        "aggregation_capacity_mbps": (5000.0, 5000.0),
+        "aggregation_technology": LinkTechnology.FIBER,
+        "hub_capacity_mbps": (10000.0, 10000.0),
+        "hub_technology": LinkTechnology.FIBER,
+    }
     base.update(overrides)
     return OperatorProfile(**base)
 
