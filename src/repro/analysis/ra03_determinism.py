@@ -50,6 +50,7 @@ DETERMINISTIC_PREFIXES = (
     "repro/simulation/",
     "repro/controlplane/",
     "repro/experiments/campaign.py",
+    "repro/workloads/",
 )
 
 #: Wall-clock reads that are never legal on a deterministic path.

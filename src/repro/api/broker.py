@@ -906,13 +906,43 @@ class SliceBroker:
         )
 
     @_synchronized
-    def list_slices(self) -> list[SliceStatus]:
-        """Status of every slice this broker knows, sorted by name."""
+    def list_slices(
+        self, offset: int = 0, limit: int | None = None
+    ) -> list[SliceStatus]:
+        """Status of the broker's slices, sorted by name, paged.
+
+        Ordering is stable (lexicographic by slice name), so
+        ``offset``/``limit`` windows tile the full listing consistently
+        across calls; status DTOs are only built for the requested page --
+        a sweep over a 100k-slice registry never materialises one giant
+        list per call.  ``limit=None`` returns everything from ``offset``.
+        """
+        if isinstance(offset, bool) or not isinstance(offset, int) or offset < 0:
+            raise ValidationError(
+                f"offset must be a non-negative integer, got {offset!r}"
+            )
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit < 0
+        ):
+            raise ValidationError(
+                f"limit must be a non-negative integer or None, got {limit!r}"
+            )
         manager = self._orchestrator.slice_manager
         names = {request.name for request in manager.pending_requests}
         names.update(record.name for record in self._orchestrator.registry.all_records())
         names.update(self._withdrawn)
-        return [self.status(name) for name in sorted(names)]
+        stop = None if limit is None else offset + limit
+        page = sorted(names)[offset:stop]
+        return [self.status(name) for name in page]
+
+    @_synchronized
+    def slice_count(self) -> int:
+        """Total slices :meth:`list_slices` would page over."""
+        manager = self._orchestrator.slice_manager
+        names = {request.name for request in manager.pending_requests}
+        names.update(record.name for record in self._orchestrator.registry.all_records())
+        names.update(self._withdrawn)
+        return len(names)
 
     @_synchronized
     def release(self, slice_name: str, *, epoch: int) -> SliceStatus:

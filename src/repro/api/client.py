@@ -50,7 +50,7 @@ from repro.api.transport import (
     slice_path,
 )
 
-__all__ = ["BrokerClient", "BrokerConnectionError", "EventPage"]
+__all__ = ["BrokerClient", "BrokerConnectionError", "EventPage", "SlicePage"]
 
 
 class BrokerConnectionError(ConnectionError):
@@ -73,6 +73,22 @@ class EventPage:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class SlicePage(list):
+    """One page of :class:`SliceStatus` DTOs plus its paging frame.
+
+    The page *is* the list (name-sorted, stable across pages), so existing
+    ``for status in client.list_slices()`` call sites keep working;
+    ``total`` is the registry-wide slice count at serve time and ``offset``
+    echoes the page start, so a pager knows when it has drained the
+    registry (``offset + len(page) >= total``).
+    """
+
+    def __init__(self, slices: Iterable[SliceStatus], total: int, offset: int):
+        super().__init__(slices)
+        self.total = total
+        self.offset = offset
 
 
 def _request_payload(
@@ -223,9 +239,23 @@ class BrokerClient:
         payload = self._request("GET", slice_path(slice_name))
         return SliceStatus.from_dict(payload)
 
-    def list_slices(self) -> list[SliceStatus]:
-        payload = self._request("GET", f"{API_PREFIX}/slices")
-        return [SliceStatus.from_dict(entry) for entry in payload["slices"]]
+    def list_slices(
+        self, offset: int = 0, *, limit: int | None = None
+    ) -> SlicePage:
+        path = f"{API_PREFIX}/slices"
+        params = []
+        if offset:
+            params.append(f"offset={offset}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        if params:
+            path += "?" + "&".join(params)
+        payload = self._request("GET", path)
+        return SlicePage(
+            (SliceStatus.from_dict(entry) for entry in payload["slices"]),
+            payload["total"],
+            payload["offset"],
+        )
 
     def release(self, slice_name: str, *, epoch: int) -> SliceStatus:
         payload = self._request(

@@ -21,7 +21,9 @@ the broker's :class:`~repro.api.events.EventBus` at construction and stamps
 every published event with a monotonically increasing sequence number;
 ``GET /v1/events?since=<seq>`` returns the events after ``seq`` plus the
 next cursor, so a client polling the cursor sees every event exactly once,
-in publication order, regardless of how many sessions share the feed.
+in publication order, regardless of how many sessions share the feed.  The
+feed is ring-bounded (``event_retention``): a cursor older than the ring
+fails with a ``validation`` error naming the oldest available seq.
 """
 
 from __future__ import annotations
@@ -50,42 +52,92 @@ from repro.api.transport import (
     status_for,
 )
 
-__all__ = ["BrokerServer", "EventLog"]
+__all__ = ["BrokerServer", "EventLog", "DEFAULT_EVENT_RETENTION"]
 
 logger = logging.getLogger(__name__)
 
 
+#: Default ring-retention cap of the event feed.  A day-long city-scale
+#: replay publishes millions of lifecycle events; the feed keeps a bounded
+#: tail instead of the whole history.
+DEFAULT_EVENT_RETENTION = 65536
+
+
 class EventLog:
-    """Sequence-stamped, thread-safe log of one broker's lifecycle events.
+    """Sequence-stamped, thread-safe ring log of one broker's lifecycle events.
 
     Subscribes to the broker's event bus and appends every event under a
     monotonically increasing sequence number (the first event is seq 1).
-    :meth:`page` serves the cursor-paged ``/v1/events`` feed.
+    Retention is a ring: only the newest ``retention`` events stay resident
+    (amortised O(1) per append via front-offset compaction, the ring-buffer
+    TSDB's idiom), while sequence numbers keep counting -- ``__len__``
+    still reports the total ever published.  :meth:`page` serves the
+    cursor-paged ``/v1/events`` feed; paging from a cursor whose events
+    have been evicted raises a typed :class:`ValidationError` naming the
+    oldest sequence number still available.
     """
 
-    def __init__(self, broker: SliceBroker):
+    def __init__(self, broker: SliceBroker, retention: int = DEFAULT_EVENT_RETENTION):
+        if retention < 1:
+            raise ValidationError(
+                f"event retention must be >= 1, got {retention}"
+            )
         self._lock = threading.Lock()
+        self._retention = retention
         self._events: list[LifecycleEvent] = []
+        self._start = 0  # index of the oldest retained event in _events
+        self._total = 0  # events ever published == seq of the newest event
         self._token = broker.events.subscribe(self._append)
 
     def _append(self, event: LifecycleEvent) -> None:
         with self._lock:
             self._events.append(event)
+            self._total += 1
+            if len(self._events) - self._start > self._retention:
+                self._start += 1
+                if self._start > self._retention:
+                    # Compact the dead prefix once it exceeds the live tail.
+                    del self._events[: self._start]
+                    self._start = 0
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._events)
+            return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by retention (the oldest available seq minus 1)."""
+        with self._lock:
+            return self._total - (len(self._events) - self._start)
 
     def page(self, since: int, limit: int | None = None) -> tuple[list[dict[str, Any]], int]:
         """Events with seq > ``since`` (at most ``limit``), plus the next cursor."""
         with self._lock:
-            start = max(0, since)
-            stop = len(self._events) if limit is None else min(len(self._events), start + limit)
+            since = max(0, since)
+            dropped = self._total - (len(self._events) - self._start)
+            if since < dropped:
+                raise ValidationError(
+                    f"event cursor {since} has been evicted by retention; the "
+                    f"oldest available event is seq {dropped + 1} "
+                    f"(resume from since={dropped})",
+                    details={
+                        "requested_since": since,
+                        "oldest_available_seq": dropped + 1,
+                        "retention": self._retention,
+                    },
+                )
+            stop_seq = (
+                self._total if limit is None else min(self._total, since + limit)
+            )
+            first = self._start + (since - dropped)
             page = [
                 {"seq": seq, "event": event.to_dict()}
-                for seq, event in enumerate(self._events[start:stop], start=start + 1)
+                for seq, event in enumerate(
+                    self._events[first : first + (stop_seq - since)],
+                    start=since + 1,
+                )
             ]
-            return page, stop
+            return page, stop_seq
 
 
 class _BrokerRequestHandler(BaseHTTPRequestHandler):
@@ -190,13 +242,14 @@ class BrokerServer:
         port: int = 0,
         *,
         max_batch: int = DEFAULT_MAX_BATCH,
+        event_retention: int = DEFAULT_EVENT_RETENTION,
     ):
         if max_batch < 1:
             raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
         self.broker = broker
         self.max_batch = max_batch
-        #: Cursor-paged event feed backing ``GET /v1/events``.
-        self.event_log = EventLog(broker)
+        #: Cursor-paged event feed backing ``GET /v1/events`` (ring-bounded).
+        self.event_log = EventLog(broker, retention=event_retention)
         self._http = _BrokerHTTPServer((host, port), _BrokerRequestHandler)
         self._http.api = self
         self._thread: threading.Thread | None = None
@@ -271,9 +324,7 @@ class BrokerServer:
             if path == f"{API_PREFIX}/health":
                 return request._respond_json(self._health_payload())
             if path == f"{API_PREFIX}/slices":
-                return request._respond_json(
-                    {"slices": [status.to_dict() for status in self.broker.list_slices()]}
-                )
+                return request._respond_json(self._slices_payload(query))
             if path == f"{API_PREFIX}/events":
                 return request._respond_json(self._events_payload(query))
             name, verb = self._slice_segment(path)
@@ -385,6 +436,30 @@ class BrokerServer:
                 raise ValidationError(f"query parameter 'limit' must be >= 0, got {limit}")
         events, next_seq = self.event_log.page(since, limit)
         return {"events": events, "next": next_seq}
+
+    def _slices_payload(self, query: dict[str, list[str]]) -> dict[str, Any]:
+        offset_values = query.get("offset", ["0"])
+        limit_values = query.get("limit", [None])
+        try:
+            offset = int(offset_values[-1])
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"query parameter 'offset' must be an integer, got {offset_values[-1]!r}"
+            ) from None
+        limit = None
+        if limit_values[-1] is not None:
+            try:
+                limit = int(limit_values[-1])
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"query parameter 'limit' must be an integer, got {limit_values[-1]!r}"
+                ) from None
+        page = self.broker.list_slices(offset=offset, limit=limit)
+        return {
+            "slices": [status.to_dict() for status in page],
+            "total": self.broker.slice_count(),
+            "offset": offset,
+        }
 
     def _health_payload(self) -> dict[str, Any]:
         return {

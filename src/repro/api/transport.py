@@ -28,7 +28,7 @@ Method  Path                              Operation (body -> response)
 POST    ``/v1/slices``                    submit (SliceRequestV1 -> AdmissionTicket, 201)
 POST    ``/v1/slices:batch``              submit_batch ({"requests": [...]} -> {"tickets": [...]}, 201)
 POST    ``/v1/quotes``                    quote (SliceRequestV1 -> QuoteResponse)
-GET     ``/v1/slices``                    list_slices (-> {"slices": [SliceStatus...]})
+GET     ``/v1/slices?offset=&limit=``     list_slices page (-> {"slices": [SliceStatus...], "total": n, "offset": n})
 GET     ``/v1/slices/{name}``             status (-> SliceStatus)
 POST    ``/v1/slices/{name}:release``     release ({"epoch": n} -> SliceStatus)
 POST    ``/v1/epochs``                    advance_epoch ({"epoch": n} -> EpochReport)

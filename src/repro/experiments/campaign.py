@@ -181,6 +181,7 @@ _RUN_KIND_MODULES = {
     "solver-ablation": "repro.experiments.ablations",
     "forecaster-ablation": "repro.experiments.ablations",
     "generated": "repro.scenarios.campaigns",
+    "trace-replay": "repro.workloads.campaigns",
 }
 
 

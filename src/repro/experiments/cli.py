@@ -189,6 +189,22 @@ def _generated_factory(full: bool):
     return campaign, render
 
 
+def _trace_replay_factory(full: bool):
+    from repro.workloads import campaigns as workload_campaigns
+
+    trace = workload_campaigns.CITY_TRACE if full else workload_campaigns.QUICK_TRACE
+    campaign = workload_campaigns.trace_replay_campaign(
+        trace, num_replays=2, retention_epochs=trace.epochs_per_day * 7
+    )
+
+    def render(result: CampaignResult) -> str:
+        return workload_campaigns.format_trace_replay(
+            workload_campaigns.reduce_trace_replay(result)
+        )
+
+    return campaign, render
+
+
 def _forecaster_ablation_factory(full: bool):
     kwargs = (
         {}
@@ -237,6 +253,9 @@ CAMPAIGNS: dict[str, CampaignEntry] = {
         ),
         CampaignEntry(
             "generated", "randomized scenario families (stochastic generator)", _generated_factory
+        ),
+        CampaignEntry(
+            "trace-replay", "city-scale trace replay (columnar workload tier)", _trace_replay_factory
         ),
     )
 }

@@ -1,0 +1,55 @@
+"""City-scale trace-replay workload tier.
+
+This package generates deterministic, city-scale tenant workloads and
+replays them against the control plane:
+
+* :mod:`repro.workloads.catalogue` -- template catalogues binding the
+  paper's Table 1 slice templates to elastic/inelastic workload classes
+  with churn statistics;
+* :mod:`repro.workloads.trace` -- content-hashed :class:`TraceSpec` /
+  :class:`TraceEvent` streams, byte-deterministic per ``(spec, seed)``,
+  generated epoch by epoch without materialising the whole trace;
+* :mod:`repro.workloads.replay` -- the two replay drivers: the
+  broker-fidelity driver feeding `SliceBroker.submit_batch` / `release` /
+  `advance_epoch` (small traces, golden-pinned), and the columnar engine
+  sustaining 100k+ live slices per epoch at O(churn) cost per epoch;
+* :mod:`repro.workloads.campaigns` -- the ``trace-replay`` campaign run
+  kind wiring the tier into ``python -m repro.experiments``.
+
+Everything under this package sits inside the RA03 deterministic subtree:
+no wall clocks, no unseeded RNGs, no unordered-set iteration.
+"""
+
+from repro.workloads.catalogue import (
+    CITY_CATALOGUE,
+    SliceClass,
+    TemplateCatalogue,
+)
+from repro.workloads.replay import (
+    BrokerReplayDriver,
+    ColumnarReplayEngine,
+    ReplayResult,
+)
+from repro.workloads.trace import (
+    EpochBatch,
+    FlashCrowd,
+    TraceEvent,
+    TraceSpec,
+    iter_trace,
+    trace_fingerprint,
+)
+
+__all__ = [
+    "CITY_CATALOGUE",
+    "SliceClass",
+    "TemplateCatalogue",
+    "TraceSpec",
+    "TraceEvent",
+    "FlashCrowd",
+    "EpochBatch",
+    "iter_trace",
+    "trace_fingerprint",
+    "BrokerReplayDriver",
+    "ColumnarReplayEngine",
+    "ReplayResult",
+]

@@ -1,0 +1,521 @@
+"""Content-hashed, byte-deterministic city-scale trace streams.
+
+A :class:`TraceSpec` declares a workload as data: a template catalogue
+(:mod:`repro.workloads.catalogue`), a horizon with day/week seasonality, a
+Poisson arrival stream plus fixed arrival-window populations, optional
+flash-crowd rate shocks, and tenant-behaviour probabilities (early release,
+renewal).  Specs are frozen, JSON round-trip with ``schema_version``
+(``from_dict(to_dict(s)) == s``) and content-hashed
+(:meth:`TraceSpec.fingerprint` via :func:`repro.utils.rng.spec_hash`), so a
+trace is identified by *what it asks for*, never by who generated it.
+
+Generation is streaming and byte-deterministic per ``(spec, seed)``:
+:func:`iter_trace` yields one :class:`EpochBatch` per epoch without ever
+materialising the whole trace, and every random draw comes from a
+per-epoch generator derived with :func:`repro.utils.rng.derive_seed` from
+``(seed, fingerprint, epoch)`` -- epoch ``e``'s batch does not depend on
+how many draws earlier epochs consumed.  :func:`trace_fingerprint` hashes
+the canonical JSON of the full event stream; two equal fingerprints mean
+bit-identical traces.
+
+Batches are *columnar*: per-arrival attributes are numpy arrays so the
+city-scale replay engine (:mod:`repro.workloads.replay`) never touches
+per-slice Python objects in its per-epoch loop; :meth:`EpochBatch.events`
+lazily materialises :class:`TraceEvent` DTOs for the broker-fidelity
+driver, golden tests and JSON export.
+
+Demand statistics layer on :mod:`repro.traffic`: each arrival samples its
+expected demand fraction from its class's
+:class:`~repro.traffic.patterns.DemandSpec` (mean fraction of the SLA,
+relative std), and flash crowds are the trace-level analogue of the
+traffic layer's bursty regimes -- a multiplicative shock on the seasonal
+arrival rate over a window of epochs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.api.wire import check_version, require, stamp
+from repro.utils.rng import derive_seed, make_rng, spec_hash
+from repro.utils.validation import (
+    ensure_non_negative,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_probability,
+)
+from repro.workloads.catalogue import SliceClass, TemplateCatalogue
+
+__all__ = [
+    "FlashCrowd",
+    "TraceSpec",
+    "TraceEvent",
+    "EpochBatch",
+    "diurnal_profile",
+    "iter_trace",
+    "trace_fingerprint",
+    "DEFAULT_WEEK_PROFILE",
+]
+
+#: Weekday multipliers on the arrival rate (Mon..Sun; weekends quieter).
+DEFAULT_WEEK_PROFILE = (1.0, 1.0, 1.0, 1.0, 1.0, 0.8, 0.7)
+
+#: Sampled demand fractions are clipped into this band: a slice never books
+#: less than 1% or more than 100% of its SLA bitrate.
+_MIN_DEMAND_FRACTION = 0.01
+
+
+def diurnal_profile(
+    epochs_per_day: int = 24, trough: float = 0.5, peak: float = 1.5
+) -> tuple[float, ...]:
+    """A smooth day profile of rate multipliers averaging (trough+peak)/2.
+
+    Cosine-shaped with the minimum at midnight and the maximum mid-day --
+    the same shape the traffic layer's seasonal demand profile uses, here
+    applied to tenant *arrivals* instead of per-slice load.
+    """
+    epochs_per_day = ensure_positive_int(epochs_per_day, "epochs_per_day")
+    ensure_positive(trough, "trough")
+    if peak < trough:
+        raise ValueError(f"peak must be >= trough, got peak={peak} trough={trough}")
+    phase = 2.0 * np.pi * (np.arange(epochs_per_day) + 0.5) / epochs_per_day
+    values = trough + (peak - trough) * 0.5 * (1.0 - np.cos(phase))
+    return tuple(float(value) for value in values)
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A demand shock: multiply the Poisson arrival rate over a window."""
+
+    epoch: int
+    duration_epochs: int
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"flash-crowd epoch must be >= 0, got {self.epoch}")
+        ensure_positive_int(self.duration_epochs, "duration_epochs")
+        ensure_positive(self.magnitude, "magnitude")
+
+    def multiplier(self, epoch: int) -> float:
+        if self.epoch <= epoch < self.epoch + self.duration_epochs:
+            return self.magnitude
+        return 1.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "duration_epochs": self.duration_epochs,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FlashCrowd":
+        return cls(
+            epoch=int(payload["epoch"]),
+            duration_epochs=int(payload["duration_epochs"]),
+            magnitude=float(payload["magnitude"]),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative description of one city-scale workload trace.
+
+    Attributes
+    ----------
+    name:
+        Trace identity; also the prefix of every generated slice name.
+    catalogue:
+        The workload classes arrivals are drawn from.
+    horizon_epochs:
+        Trace length in decision epochs.
+    epochs_per_day:
+        Epochs per seasonal day (``day_profile`` indexes modulo this).
+    arrival_rate:
+        Mean Poisson arrivals per epoch across the catalogue's ``poisson``
+        classes at seasonal multiplier 1.0 (split by class weight).
+    window_population:
+        Total arrivals of the catalogue's ``window`` classes over the
+        horizon (split by class weight); each class's population arrives
+        uniformly within the leading ``arrival_window_fraction`` of the
+        horizon.
+    day_profile / week_profile:
+        Multiplicative seasonal profiles on the Poisson rate.
+    early_release_probability:
+        Chance an arrival departs before its contract expires (a tenant
+        ``release``); the release epoch is uniform within the lifetime.
+    renewal_probability:
+        Chance an arrival renews once for a second term of the same
+        duration when its first term expires.
+    flash_crowds:
+        Optional rate shocks (see :class:`FlashCrowd`).
+    aggregate_capacity_mbps:
+        City-level capacity budget the replay admission policy books
+        load estimates against.
+    """
+
+    name: str
+    catalogue: TemplateCatalogue
+    horizon_epochs: int
+    epochs_per_day: int = 24
+    arrival_rate: float = 0.0
+    window_population: int = 0
+    day_profile: tuple[float, ...] = ()
+    week_profile: tuple[float, ...] = DEFAULT_WEEK_PROFILE
+    early_release_probability: float = 0.0
+    renewal_probability: float = 0.0
+    flash_crowds: tuple[FlashCrowd, ...] = ()
+    aggregate_capacity_mbps: float = 1e6
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("trace name must be non-empty")
+        ensure_positive_int(self.horizon_epochs, "horizon_epochs")
+        ensure_positive_int(self.epochs_per_day, "epochs_per_day")
+        ensure_non_negative(self.arrival_rate, "arrival_rate")
+        if self.window_population < 0:
+            raise ValueError(
+                f"window_population must be >= 0, got {self.window_population}"
+            )
+        day = self.day_profile or (1.0,) * self.epochs_per_day
+        if len(day) != self.epochs_per_day:
+            raise ValueError(
+                f"day_profile must have epochs_per_day={self.epochs_per_day} "
+                f"entries, got {len(day)}"
+            )
+        object.__setattr__(self, "day_profile", tuple(float(v) for v in day))
+        if not self.week_profile:
+            raise ValueError("week_profile must be non-empty")
+        object.__setattr__(
+            self, "week_profile", tuple(float(v) for v in self.week_profile)
+        )
+        for value in self.day_profile + self.week_profile:
+            ensure_non_negative(value, "seasonal profile entry")
+        ensure_probability(
+            self.early_release_probability, "early_release_probability"
+        )
+        ensure_probability(self.renewal_probability, "renewal_probability")
+        object.__setattr__(self, "flash_crowds", tuple(self.flash_crowds))
+        ensure_positive(self.aggregate_capacity_mbps, "aggregate_capacity_mbps")
+        if self.arrival_rate > 0 and not self.catalogue.poisson_classes():
+            raise ValueError(
+                "arrival_rate > 0 needs at least one 'poisson' class in the catalogue"
+            )
+        if self.window_population > 0 and not self.catalogue.window_classes():
+            raise ValueError(
+                "window_population > 0 needs at least one 'window' class in the catalogue"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Seasonality
+    # ------------------------------------------------------------------ #
+    def rate_at(self, epoch: int) -> float:
+        """The Poisson arrival rate at ``epoch`` (seasonality + shocks)."""
+        day = self.day_profile[epoch % self.epochs_per_day]
+        week = self.week_profile[
+            (epoch // self.epochs_per_day) % len(self.week_profile)
+        ]
+        rate = self.arrival_rate * day * week
+        for crowd in self.flash_crowds:
+            rate *= crowd.multiplier(epoch)
+        return rate
+
+    # ------------------------------------------------------------------ #
+    # Wire form
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return stamp(
+            {
+                "name": self.name,
+                "catalogue": self.catalogue.as_dict(),
+                "horizon_epochs": self.horizon_epochs,
+                "epochs_per_day": self.epochs_per_day,
+                "arrival_rate": self.arrival_rate,
+                "window_population": self.window_population,
+                "day_profile": list(self.day_profile),
+                "week_profile": list(self.week_profile),
+                "early_release_probability": self.early_release_probability,
+                "renewal_probability": self.renewal_probability,
+                "flash_crowds": [crowd.as_dict() for crowd in self.flash_crowds],
+                "aggregate_capacity_mbps": self.aggregate_capacity_mbps,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceSpec":
+        check_version(payload, "TraceSpec")
+        return cls(
+            name=str(require(payload, "name", "TraceSpec")),
+            catalogue=TemplateCatalogue.from_dict(
+                require(payload, "catalogue", "TraceSpec")
+            ),
+            horizon_epochs=int(require(payload, "horizon_epochs", "TraceSpec")),
+            epochs_per_day=int(require(payload, "epochs_per_day", "TraceSpec")),
+            arrival_rate=float(require(payload, "arrival_rate", "TraceSpec")),
+            window_population=int(
+                require(payload, "window_population", "TraceSpec")
+            ),
+            day_profile=tuple(
+                float(v) for v in require(payload, "day_profile", "TraceSpec")
+            ),
+            week_profile=tuple(
+                float(v) for v in require(payload, "week_profile", "TraceSpec")
+            ),
+            early_release_probability=float(
+                require(payload, "early_release_probability", "TraceSpec")
+            ),
+            renewal_probability=float(
+                require(payload, "renewal_probability", "TraceSpec")
+            ),
+            flash_crowds=tuple(
+                FlashCrowd.from_dict(entry)
+                for entry in require(payload, "flash_crowds", "TraceSpec")
+            ),
+            aggregate_capacity_mbps=float(
+                require(payload, "aggregate_capacity_mbps", "TraceSpec")
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the spec (stable across processes and sessions)."""
+        return spec_hash(self.to_dict())
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One tenant arrival as a wire-form DTO.
+
+    ``early_release_epoch`` is the absolute epoch of a tenant-initiated
+    release (-1 when the slice runs its contract to term); ``renewals`` is
+    how many extra same-duration terms the tenant will renew for.
+    """
+
+    epoch: int
+    name: str
+    slice_class: str
+    duration_epochs: int
+    demand_fraction: float
+    early_release_epoch: int = -1
+    renewals: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return stamp(
+            {
+                "epoch": self.epoch,
+                "name": self.name,
+                "slice_class": self.slice_class,
+                "duration_epochs": self.duration_epochs,
+                "demand_fraction": self.demand_fraction,
+                "early_release_epoch": self.early_release_epoch,
+                "renewals": self.renewals,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceEvent":
+        check_version(payload, "TraceEvent")
+        return cls(
+            epoch=int(require(payload, "epoch", "TraceEvent")),
+            name=str(require(payload, "name", "TraceEvent")),
+            slice_class=str(require(payload, "slice_class", "TraceEvent")),
+            duration_epochs=int(require(payload, "duration_epochs", "TraceEvent")),
+            demand_fraction=float(
+                require(payload, "demand_fraction", "TraceEvent")
+            ),
+            early_release_epoch=int(
+                require(payload, "early_release_epoch", "TraceEvent")
+            ),
+            renewals=int(require(payload, "renewals", "TraceEvent")),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class EpochBatch:
+    """One epoch's arrivals in columnar form.
+
+    All arrays share length ``len(self)`` (one row per arrival, in the
+    deterministic generation order): ``class_index`` indexes
+    ``spec.catalogue.classes``, ``duration_epochs`` is the per-term
+    contract length, ``demand_fraction`` the sampled expected demand as a
+    fraction of the SLA, ``early_release_epoch`` the absolute tenant
+    release epoch (-1: none) and ``renewals`` the number of extra terms.
+    """
+
+    spec: TraceSpec = field(repr=False)
+    epoch: int
+    class_index: np.ndarray
+    duration_epochs: np.ndarray
+    demand_fraction: np.ndarray
+    early_release_epoch: np.ndarray
+    renewals: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.class_index.shape[0])
+
+    def names(self) -> list[str]:
+        """Deterministic slice names for this batch's arrivals."""
+        prefix = f"{self.spec.name}-{self.epoch:05d}-"
+        return [f"{prefix}{serial:06d}" for serial in range(len(self))]
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Materialise the batch as :class:`TraceEvent` DTOs (small traces)."""
+        classes = self.spec.catalogue.classes
+        for serial, name in enumerate(self.names()):
+            yield TraceEvent(
+                epoch=self.epoch,
+                name=name,
+                slice_class=classes[int(self.class_index[serial])].name,
+                duration_epochs=int(self.duration_epochs[serial]),
+                demand_fraction=float(self.demand_fraction[serial]),
+                early_release_epoch=int(self.early_release_epoch[serial]),
+                renewals=int(self.renewals[serial]),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Generation
+# --------------------------------------------------------------------- #
+def _weight_split(total: int, classes: tuple[SliceClass, ...]) -> list[int]:
+    """Split ``total`` across classes proportionally to weight.
+
+    Largest-remainder rounding with catalogue order breaking ties, so the
+    split is deterministic and sums exactly to ``total``.
+    """
+    if not classes:
+        return []
+    weights = [cls.weight for cls in classes]
+    scale = total / sum(weights)
+    shares = [weight * scale for weight in weights]
+    counts = [int(share) for share in shares]
+    remainders = [share - count for share, count in zip(shares, counts)]
+    leftover = total - sum(counts)
+    order = sorted(range(len(classes)), key=lambda i: (-remainders[i], i))
+    for i in order[:leftover]:
+        counts[i] += 1
+    return counts
+
+
+def _window_schedules(
+    spec: TraceSpec, seed: int, fingerprint: str
+) -> list[tuple[int, np.ndarray]]:
+    """Per window class: (catalogue index, arrivals-per-epoch counts).
+
+    Each class's population lands uniformly at random within its window
+    (multinomial over the window epochs), drawn from a seed derived from
+    the trace identity and the class name -- O(window) memory, computed
+    once up front.
+    """
+    window_classes = spec.catalogue.window_classes()
+    populations = _weight_split(spec.window_population, window_classes)
+    schedules: list[tuple[int, np.ndarray]] = []
+    for cls, population in zip(window_classes, populations):
+        window = max(1, round(cls.arrival_window_fraction * spec.horizon_epochs))
+        window = min(window, spec.horizon_epochs)
+        rng = make_rng(derive_seed(seed, "trace-window", fingerprint, cls.name))
+        counts = rng.multinomial(population, np.full(window, 1.0 / window))
+        index = spec.catalogue.classes.index(cls)
+        schedules.append((index, counts.astype(np.int64)))
+    return schedules
+
+
+def _sample_columns(
+    spec: TraceSpec,
+    rng: np.random.Generator,
+    epoch: int,
+    class_index: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised per-arrival attribute sampling for one epoch's batch."""
+    classes = spec.catalogue.classes
+    low = np.array([cls.duration_epochs[0] for cls in classes], dtype=np.int64)
+    high = np.array([cls.duration_epochs[1] for cls in classes], dtype=np.int64)
+    mean = np.array([cls.mean_fraction for cls in classes])
+    std = np.array([cls.relative_std for cls in classes])
+
+    n = class_index.shape[0]
+    span = high[class_index] - low[class_index] + 1
+    durations = low[class_index] + (rng.random(n) * span).astype(np.int64)
+
+    noise = rng.standard_normal(n)
+    fractions = mean[class_index] * (1.0 + std[class_index] * noise)
+    fractions = np.clip(fractions, _MIN_DEMAND_FRACTION, 1.0)
+
+    renewals = (rng.random(n) < spec.renewal_probability).astype(np.int64)
+    lifetimes = durations * (1 + renewals)
+
+    release = np.full(n, -1, dtype=np.int64)
+    eligible = (rng.random(n) < spec.early_release_probability) & (lifetimes >= 2)
+    offsets = 1 + (rng.random(n) * (lifetimes - 1)).astype(np.int64)
+    release[eligible] = epoch + offsets[eligible]
+    return durations, fractions, release, renewals
+
+
+def iter_trace(spec: TraceSpec, seed: int = 0) -> Iterator[EpochBatch]:
+    """Stream the trace one :class:`EpochBatch` at a time.
+
+    Byte-deterministic per ``(spec, seed)``: every epoch draws from its own
+    generator derived via ``derive_seed(seed, "trace-epoch", fingerprint,
+    epoch)``, and the arrival order within a batch is fixed (Poisson
+    arrivals in sampled class order, then window classes in catalogue
+    order).  Peak memory is O(arrivals per epoch), never O(trace).
+    """
+    fingerprint = spec.fingerprint()
+    schedules = _window_schedules(spec, seed, fingerprint)
+    poisson_classes = spec.catalogue.poisson_classes()
+    poisson_index = np.array(
+        [spec.catalogue.classes.index(cls) for cls in poisson_classes],
+        dtype=np.int64,
+    )
+    weights = np.array([cls.weight for cls in poisson_classes])
+    probabilities = weights / weights.sum() if len(weights) else weights
+
+    for epoch in range(spec.horizon_epochs):
+        rng = make_rng(derive_seed(seed, "trace-epoch", fingerprint, epoch))
+        parts: list[np.ndarray] = []
+        if len(poisson_classes):
+            count = int(rng.poisson(spec.rate_at(epoch)))
+            if count:
+                drawn = rng.choice(len(poisson_classes), size=count, p=probabilities)
+                parts.append(poisson_index[drawn])
+        for index, counts in schedules:
+            if epoch < counts.shape[0] and counts[epoch]:
+                parts.append(np.full(int(counts[epoch]), index, dtype=np.int64))
+        if parts:
+            class_index = np.concatenate(parts)
+        else:
+            class_index = np.empty(0, dtype=np.int64)
+        durations, fractions, release, renewals = _sample_columns(
+            spec, rng, epoch, class_index
+        )
+        yield EpochBatch(
+            spec=spec,
+            epoch=epoch,
+            class_index=class_index,
+            duration_epochs=durations,
+            demand_fraction=fractions,
+            early_release_epoch=release,
+            renewals=renewals,
+        )
+
+
+def trace_fingerprint(spec: TraceSpec, seed: int = 0) -> str:
+    """SHA-256 over the canonical JSON of the full event stream.
+
+    Two equal fingerprints mean bit-identical traces: same arrivals, same
+    order, same sampled attributes, epoch by epoch.  Streaming: the trace
+    is hashed batch by batch, never held in memory.
+    """
+    digest = hashlib.sha256()
+    digest.update(spec.fingerprint().encode("ascii"))
+    for batch in iter_trace(spec, seed):
+        for event in batch.events():
+            payload = json.dumps(
+                event.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            digest.update(payload.encode("utf-8"))
+    return digest.hexdigest()

@@ -338,6 +338,13 @@ class TestRA03:
             == []
         )
 
+    def test_workloads_subtree_is_covered(self):
+        found = self._run(RA03_WALL_CLOCK, path="src/repro/workloads/trace.py")
+        assert any("wall-clock" in f.message for f in found)
+
+    def test_seeded_workloads_trace_passes(self):
+        assert self._run(RA03_CLEAN, path="src/repro/workloads/trace.py") == []
+
 
 # --------------------------------------------------------------------- #
 # RA04 -- wire contract

@@ -316,6 +316,119 @@ class TestEventFeed:
 
 
 # --------------------------------------------------------------------- #
+# Event-log retention (bounded ring)
+# --------------------------------------------------------------------- #
+class TestEventRetention:
+    @pytest.fixture()
+    def tiny_log(self):
+        broker = make_broker()
+        with BrokerServer(broker, event_retention=4) as server:
+            with BrokerClient(server.host, server.port) as client:
+                yield broker, server, client
+
+    @staticmethod
+    def publish(client, count: int = 8) -> int:
+        """Drive > retention events; returns the feed's end cursor."""
+        client.submit_batch(
+            [request(f"s{i}", duration=2) for i in range(count)]
+        )
+        client.advance_epoch(0)  # one queued + one accepted/rejected per slice
+        return client.events(10**9, limit=0).next_cursor
+
+    def test_evicted_cursor_is_validation_naming_oldest_seq(self, tiny_log):
+        _, server, client = tiny_log
+        total = self.publish(client)
+        assert total > 4
+        with pytest.raises(ValidationError) as excinfo:
+            client.events(0)
+        details = excinfo.value.details
+        assert details["oldest_available_seq"] == total - 4 + 1
+        assert details["requested_since"] == 0
+        assert details["retention"] == 4
+        status, payload = raw_exchange(server, "GET", "/v1/events?since=0")
+        assert status == STATUS_BY_CODE["validation"]
+        assert payload["error"] == "validation"
+
+    def test_retained_tail_still_pages_exactly_once(self, tiny_log):
+        _, _, client = tiny_log
+        total = self.publish(client)
+        oldest_cursor = total - 4
+        first = client.events(oldest_cursor, limit=3)
+        rest = client.events(first.next_cursor)
+        assert len(first) == 3
+        assert len(rest) == 1
+        seqs = [seq for seq, _ in list(first) + list(rest)]
+        assert seqs == list(range(oldest_cursor + 1, total + 1))
+
+    def test_health_counts_total_published_not_retained(self, tiny_log):
+        _, _, client = tiny_log
+        total = self.publish(client)
+        assert client.health()["events_published"] == total
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises(ValidationError, match="retention"):
+            BrokerServer(make_broker(), event_retention=0)
+
+    def test_default_retention_keeps_small_feeds_whole(self, served):
+        _, _, client = served
+        client.submit_batch([request(f"s{i}", duration=2) for i in range(3)])
+        client.advance_epoch(0)
+        assert len(client.events(0)) > 0  # cursor 0 never evicted
+
+
+# --------------------------------------------------------------------- #
+# Paged slice listing
+# --------------------------------------------------------------------- #
+class TestSlicePaging:
+    @staticmethod
+    def admit(client, count: int = 5) -> list[str]:
+        names = [f"s{i}" for i in range(count)]
+        client.submit_batch([request(name, duration=4) for name in names])
+        client.advance_epoch(0)
+        return sorted(names)
+
+    def test_offset_limit_windows_are_stable_and_disjoint(self, served):
+        _, _, client = served
+        names = self.admit(client, 5)
+        first = client.list_slices(limit=2)
+        second = client.list_slices(2, limit=2)
+        tail = client.list_slices(4)
+        assert [s.name for s in first + second + tail] == names
+        assert (first.total, first.offset) == (5, 0)
+        assert (second.total, second.offset) == (5, 2)
+        assert (tail.total, tail.offset) == (5, 4)
+
+    def test_full_listing_is_unchanged_by_default(self, served):
+        _, _, client = served
+        names = self.admit(client, 3)
+        page = client.list_slices()
+        assert [s.name for s in page] == names
+        assert page.total == 3
+
+    def test_offset_past_end_is_empty_not_an_error(self, served):
+        _, _, client = served
+        self.admit(client, 2)
+        page = client.list_slices(10)
+        assert list(page) == []
+        assert page.total == 2
+
+    def test_bad_paging_params_are_validation_errors(self, served):
+        _, server, _ = served
+        for query in ("offset=x", "limit=x", "offset=-1", "limit=-1"):
+            status, payload = raw_exchange(server, "GET", f"/v1/slices?{query}")
+            assert status == STATUS_BY_CODE["validation"], query
+            assert payload["error"] == "validation", query
+
+    def test_facade_pages_identically(self, served):
+        broker, _, client = served
+        self.admit(client, 4)
+        wire = [s.to_dict() for s in client.list_slices(1, limit=2)]
+        local = [s.to_dict() for s in broker.list_slices(1, limit=2)]
+        assert wire == local
+        assert broker.slice_count() == 4
+
+
+# --------------------------------------------------------------------- #
 # Transport-level golden test
 # --------------------------------------------------------------------- #
 class TestTransportGolden:

@@ -78,12 +78,14 @@ def make_chaos_broker(plan: FaultPlan) -> SliceBroker:
     return broker
 
 
-def advance_with_invariant(broker: SliceBroker, epoch: int, max_attempts: int = 8):
+def advance_with_invariant(broker: SliceBroker, epoch: int, max_attempts: int = 10):
     """Advance one epoch, asserting the fault-matrix invariant.
 
     Retries after byte-identical rollbacks (a fault spec with ``times > 1``
     can fail several consecutive attempts) and returns the committing
-    report.
+    report.  The randomized sweep can stack up to 3 faults x times 3 = 9
+    failing attempts on one epoch, so the bound must leave a 10th attempt
+    for the commit.
     """
     orchestrator = broker.orchestrator
     for _ in range(max_attempts):

@@ -1,0 +1,139 @@
+"""Golden broker-fidelity replay: a small trace through the real facade.
+
+A short city-block trace (short contracts, early releases and renewals all
+firing inside the horizon) drives ``SliceBroker.submit_batch`` /
+``release`` / ``advance_epoch`` via :class:`BrokerReplayDriver`, and the
+resulting per-epoch reports are pinned under ``tests/golden/`` at 1e-9 --
+any drift in the trace generator, the driver's scheduling or the admission
+stack shows up here as a loud diff.
+
+To regenerate after an *intentional* behaviour change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/workloads/test_golden_replay.py
+
+and commit the refreshed JSON together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import SliceBroker
+from repro.core.milp_solver import DirectMILPSolver
+from repro.topology import operators
+from repro.workloads.catalogue import SliceClass, TemplateCatalogue
+from repro.workloads.replay import BrokerReplayDriver
+from repro.workloads.trace import TraceSpec
+
+pytestmark = [pytest.mark.workloads, pytest.mark.golden]
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "golden" / "trace_replay_small.json"
+)
+UPDATE_ENV = "REPRO_UPDATE_GOLDEN"
+SEED = 29
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def small_trace() -> TraceSpec:
+    catalogue = TemplateCatalogue(
+        name="golden-block",
+        classes=(
+            SliceClass(
+                name="embb-short",
+                template="eMBB",
+                elastic=True,
+                weight=2.0,
+                duration_epochs=(2, 5),
+                mean_fraction=0.4,
+                relative_std=0.2,
+            ),
+            SliceClass(
+                name="urllc-short",
+                template="uRLLC",
+                elastic=False,
+                weight=1.0,
+                duration_epochs=(2, 4),
+                mean_fraction=0.3,
+                penalty_factor=2.0,
+            ),
+        ),
+    )
+    return TraceSpec(
+        name="golden",
+        catalogue=catalogue,
+        horizon_epochs=10,
+        arrival_rate=3.0,
+        day_profile=(1.0,) * 24,
+        week_profile=(1.0,),
+        early_release_probability=0.25,
+        renewal_probability=0.4,
+    )
+
+
+def replay_reports() -> list[dict]:
+    broker = SliceBroker(
+        topology=operators.testbed_topology(), solver=DirectMILPSolver()
+    )
+    return BrokerReplayDriver(broker, small_trace(), seed=SEED).run()
+
+
+def load_golden() -> dict:
+    if os.environ.get(UPDATE_ENV):
+        payload = {
+            "schema": 1,
+            "seed": SEED,
+            "spec_fingerprint": small_trace().fingerprint(),
+            "reports": replay_reports(),
+        }
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        return payload
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden file {GOLDEN_PATH}; run with {UPDATE_ENV}=1 to create it"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def assert_close(fresh, reference, path=""):
+    """Structural equality with 1e-9 relative tolerance on floats."""
+    if isinstance(reference, float) or isinstance(fresh, float):
+        assert math.isclose(
+            float(fresh), float(reference), rel_tol=REL_TOL, abs_tol=ABS_TOL
+        ), f"{path}: {fresh!r} != {reference!r}"
+    elif isinstance(reference, dict):
+        assert sorted(fresh) == sorted(reference), path
+        for key in reference:
+            assert_close(fresh[key], reference[key], f"{path}.{key}")
+    elif isinstance(reference, list):
+        assert len(fresh) == len(reference), path
+        for index, (f, r) in enumerate(zip(fresh, reference)):
+            assert_close(f, r, f"{path}[{index}]")
+    else:
+        assert fresh == reference, f"{path}: {fresh!r} != {reference!r}"
+
+
+class TestGoldenBrokerReplay:
+    def test_spec_fingerprint_is_pinned(self):
+        golden = load_golden()
+        assert small_trace().fingerprint() == golden["spec_fingerprint"]
+
+    def test_fresh_replay_matches_reference(self):
+        golden = load_golden()
+        assert_close(replay_reports(), golden["reports"], "reports")
+
+    def test_golden_trace_exercises_every_lifecycle_path(self):
+        golden = load_golden()
+        reports = golden["reports"]
+        assert any(report["accepted"] for report in reports)
+        assert any(report["expired"] for report in reports)
+        assert any(report["released"] for report in reports)
+        assert any(report["renewed"] for report in reports)

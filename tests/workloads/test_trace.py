@@ -1,0 +1,292 @@
+"""Trace model tests: wire round trips, byte-determinism and calibration.
+
+The statistical claims (Poisson rate, arrival-window occupancy) run under
+Hypothesis-driven seeds with sigma-scaled tolerances, so they hold for
+*every* seed, not one lucky one; the determinism claims compare full
+columnar streams element-wise -- byte-identical, not "close".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.catalogue import CITY_CATALOGUE, SliceClass, TemplateCatalogue
+from repro.workloads.trace import (
+    EpochBatch,
+    FlashCrowd,
+    TraceEvent,
+    TraceSpec,
+    diurnal_profile,
+    iter_trace,
+    trace_fingerprint,
+)
+
+pytestmark = pytest.mark.workloads
+
+
+def poisson_only_spec(rate: float = 12.0, horizon: int = 96) -> TraceSpec:
+    catalogue = TemplateCatalogue(
+        name="poisson-only",
+        classes=(
+            SliceClass(
+                name="embb",
+                template="eMBB",
+                elastic=True,
+                weight=2.0,
+                duration_epochs=(4, 12),
+                mean_fraction=0.4,
+                relative_std=0.2,
+            ),
+            SliceClass(
+                name="urllc",
+                template="uRLLC",
+                elastic=False,
+                weight=1.0,
+                duration_epochs=(2, 6),
+                mean_fraction=0.3,
+            ),
+        ),
+    )
+    return TraceSpec(
+        name="flat",
+        catalogue=catalogue,
+        horizon_epochs=horizon,
+        epochs_per_day=24,
+        arrival_rate=rate,
+        day_profile=(1.0,) * 24,
+        week_profile=(1.0,),
+    )
+
+
+def window_only_spec(population: int, fraction: float, horizon: int = 60) -> TraceSpec:
+    catalogue = TemplateCatalogue(
+        name="window-only",
+        classes=(
+            SliceClass(
+                name="iot",
+                template="mMTC",
+                elastic=False,
+                weight=1.0,
+                duration_epochs=(20, 40),
+                mean_fraction=0.2,
+                churn="window",
+                arrival_window_fraction=fraction,
+            ),
+        ),
+    )
+    return TraceSpec(
+        name="window",
+        catalogue=catalogue,
+        horizon_epochs=horizon,
+        window_population=population,
+    )
+
+
+class TestSpecWireForm:
+    def test_round_trip_is_identity(self):
+        for spec in (poisson_only_spec(), city_spec()):
+            assert TraceSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fingerprint_stable_across_instances(self):
+        assert city_spec().fingerprint() == city_spec().fingerprint()
+
+    def test_fingerprint_sensitive_to_every_knob(self):
+        base = city_spec()
+        assert (
+            dataclasses.replace(base, arrival_rate=99.0).fingerprint()
+            != base.fingerprint()
+        )
+        assert (
+            dataclasses.replace(base, flash_crowds=()).fingerprint()
+            != base.fingerprint()
+        )
+
+    def test_event_round_trip(self):
+        event = TraceEvent(
+            epoch=3,
+            name="t-00003-000001",
+            slice_class="embb",
+            duration_epochs=7,
+            demand_fraction=0.42,
+            early_release_epoch=6,
+            renewals=1,
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_day_profile_length_is_validated(self):
+        with pytest.raises(ValueError, match="day_profile"):
+            dataclasses.replace(poisson_only_spec(), day_profile=(1.0, 1.0))
+
+    def test_rate_needs_matching_classes(self):
+        window = window_only_spec(10, 0.5)
+        with pytest.raises(ValueError, match="poisson"):
+            dataclasses.replace(window, arrival_rate=5.0)
+
+
+def city_spec() -> TraceSpec:
+    return TraceSpec(
+        name="city",
+        catalogue=CITY_CATALOGUE,
+        horizon_epochs=48,
+        arrival_rate=10.0,
+        window_population=60,
+        day_profile=diurnal_profile(24),
+        early_release_probability=0.1,
+        renewal_probability=0.2,
+        flash_crowds=(FlashCrowd(epoch=10, duration_epochs=3, magnitude=2.0),),
+    )
+
+
+class TestByteDeterminism:
+    def test_identical_streams_for_same_spec_and_seed(self):
+        spec = city_spec()
+        for left, right in zip(iter_trace(spec, seed=7), iter_trace(spec, seed=7)):
+            assert left.epoch == right.epoch
+            for column in (
+                "class_index",
+                "duration_epochs",
+                "demand_fraction",
+                "early_release_epoch",
+                "renewals",
+            ):
+                np.testing.assert_array_equal(
+                    getattr(left, column), getattr(right, column)
+                )
+
+    def test_trace_fingerprint_matches_itself_and_splits_on_seed(self):
+        spec = city_spec()
+        assert trace_fingerprint(spec, seed=5) == trace_fingerprint(spec, seed=5)
+        assert trace_fingerprint(spec, seed=5) != trace_fingerprint(spec, seed=6)
+
+    def test_epoch_batches_are_order_independent(self):
+        """Epoch e's batch must not depend on earlier epochs' draws."""
+        spec = city_spec()
+        streamed = {batch.epoch: batch for batch in iter_trace(spec, seed=11)}
+        resumed = None
+        for batch in iter_trace(spec, seed=11):
+            if batch.epoch == spec.horizon_epochs - 1:
+                resumed = batch
+        np.testing.assert_array_equal(
+            streamed[spec.horizon_epochs - 1].demand_fraction,
+            resumed.demand_fraction,
+        )
+
+    def test_names_are_deterministic_and_unique(self):
+        spec = city_spec()
+        names: set[str] = set()
+        for batch in iter_trace(spec, seed=2):
+            batch_names = batch.names()
+            assert len(set(batch_names)) == len(batch_names)
+            assert names.isdisjoint(batch_names)
+            names.update(batch_names)
+        assert all(name.startswith("city-") for name in names)
+
+    def test_events_match_columns(self):
+        spec = city_spec()
+        batch = next(iter_trace(spec, seed=4))
+        events = list(batch.events())
+        assert len(events) == len(batch)
+        for serial, event in enumerate(events):
+            assert isinstance(event, TraceEvent)
+            assert event.epoch == batch.epoch
+            assert event.duration_epochs == int(batch.duration_epochs[serial])
+
+
+class TestPoissonCalibration:
+    @given(seed=st.integers(0, 2**16), rate=st.floats(4.0, 40.0))
+    @settings(max_examples=20, deadline=None)
+    def test_flat_profile_total_matches_rate(self, seed, rate):
+        spec = poisson_only_spec(rate=rate, horizon=96)
+        total = sum(len(batch) for batch in iter_trace(spec, seed=seed))
+        expected = rate * spec.horizon_epochs
+        assert abs(total - expected) < 6.0 * math.sqrt(expected)
+
+    def test_seasonal_profile_modulates_rate(self):
+        spec = dataclasses.replace(
+            poisson_only_spec(rate=200.0, horizon=240),
+            day_profile=diurnal_profile(24, trough=0.2, peak=1.8),
+        )
+        by_hour = np.zeros(24)
+        for batch in iter_trace(spec, seed=9):
+            by_hour[batch.epoch % 24] += len(batch)
+        trough = by_hour[:4].mean()
+        peak = by_hour[10:14].mean()
+        assert peak > 2.0 * trough
+
+    def test_flash_crowd_spikes_arrivals(self):
+        calm = poisson_only_spec(rate=50.0, horizon=40)
+        shocked = dataclasses.replace(
+            calm, flash_crowds=(FlashCrowd(epoch=20, duration_epochs=5, magnitude=4.0),)
+        )
+        assert shocked.rate_at(22) == pytest.approx(4.0 * calm.rate_at(22))
+        assert shocked.rate_at(19) == pytest.approx(calm.rate_at(19))
+
+
+class TestArrivalWindowOccupancy:
+    @given(
+        seed=st.integers(0, 2**16),
+        population=st.integers(50, 800),
+        fraction=st.floats(0.2, 1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_population_lands_exactly_and_inside_window(
+        self, seed, population, fraction
+    ):
+        spec = window_only_spec(population, fraction, horizon=60)
+        window = min(60, max(1, round(fraction * 60)))
+        counts = np.zeros(spec.horizon_epochs, dtype=int)
+        for batch in iter_trace(spec, seed=seed):
+            counts[batch.epoch] += len(batch)
+        assert counts.sum() == population
+        assert counts[window:].sum() == 0
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_window_occupancy_is_near_uniform(self, seed):
+        population, fraction, horizon = 3000, 0.5, 60
+        spec = window_only_spec(population, fraction, horizon=horizon)
+        window = round(fraction * horizon)
+        counts = np.zeros(horizon, dtype=int)
+        for batch in iter_trace(spec, seed=seed):
+            counts[batch.epoch] += len(batch)
+        mean = population / window
+        sigma = math.sqrt(population * (1.0 / window) * (1.0 - 1.0 / window))
+        assert np.all(np.abs(counts[:window] - mean) < 6.0 * sigma)
+
+
+class TestBatchColumns:
+    def test_durations_and_fractions_respect_class_bounds(self):
+        spec = city_spec()
+        classes = spec.catalogue.classes
+        low = np.array([cls.duration_epochs[0] for cls in classes])
+        high = np.array([cls.duration_epochs[1] for cls in classes])
+        for batch in iter_trace(spec, seed=13):
+            if not len(batch):
+                continue
+            assert np.all(batch.duration_epochs >= low[batch.class_index])
+            assert np.all(batch.duration_epochs <= high[batch.class_index])
+            assert np.all(batch.demand_fraction >= 0.01)
+            assert np.all(batch.demand_fraction <= 1.0)
+
+    def test_early_releases_precede_contract_end(self):
+        spec = dataclasses.replace(city_spec(), early_release_probability=0.9)
+        for batch in iter_trace(spec, seed=17):
+            release = batch.early_release_epoch
+            term = batch.epoch + batch.duration_epochs * (1 + batch.renewals)
+            scheduled = release >= 0
+            assert np.all(release[scheduled] > batch.epoch)
+            assert np.all(release[scheduled] <= term[scheduled])
+
+    def test_empty_epoch_yields_empty_batch(self):
+        spec = TraceSpec(
+            name="silent", catalogue=CITY_CATALOGUE, horizon_epochs=5
+        )
+        batches = list(iter_trace(spec, seed=1))
+        assert len(batches) == 5
+        assert all(isinstance(batch, EpochBatch) for batch in batches)
+        assert all(len(batch) == 0 for batch in batches)
